@@ -1,0 +1,71 @@
+// Command mfc is the repro's stand-in for the MANIFOLD compiler Mc: it
+// lexes, parses and semantically checks MANIFOLD source files, and can dump
+// their declarations.
+//
+//	mfc file1.m file2.m          # check the files together
+//	mfc -decls protocolMW.m      # list the declarations
+//	mfc -tokens mainprog.m       # dump the token stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/manifold/lang"
+)
+
+func main() {
+	var (
+		decls  = flag.Bool("decls", false, "list top-level declarations")
+		tokens = flag.Bool("tokens", false, "dump the token stream")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mfc [-decls] [-tokens] file.m ...")
+		os.Exit(2)
+	}
+
+	var progs []*lang.Program
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfc:", err)
+			os.Exit(1)
+		}
+		if *tokens {
+			toks, err := lang.Lex(path, string(src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mfc:", err)
+				os.Exit(1)
+			}
+			for _, t := range toks {
+				fmt.Printf("%s\t%s\n", t.Pos, t)
+			}
+			continue
+		}
+		prog, err := lang.Parse(path, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfc:", err)
+			os.Exit(1)
+		}
+		progs = append(progs, prog)
+	}
+	if *tokens {
+		return
+	}
+	declMap, err := lang.Check(progs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+	if *decls {
+		for _, prog := range progs {
+			fmt.Printf("%s:\n", prog.File)
+			for _, d := range prog.Decls {
+				fmt.Printf("  %s\n", d)
+			}
+		}
+	}
+	fmt.Printf("mfc: %d file(s), %d declaration(s), no errors\n", len(progs), len(declMap))
+}

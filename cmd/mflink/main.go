@@ -1,0 +1,93 @@
+// Command mflink plays the MLINK + CONFIG stages: it reads an MLINK task
+// composition file and a CONFIG host file, simulates placing a master and
+// n workers, and prints which task instance and machine each process ends
+// up on — the application-construction pipeline of §6 of the paper.
+//
+//	mflink -mlink mainprog.mlink -config hosts.config -task mainprog -workers 5
+//
+// Without -mlink/-config the paper's files from §6 are used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/manifold/mconfig"
+	"repro/internal/manifold/mlink"
+)
+
+func main() {
+	var (
+		mlinkPath  = flag.String("mlink", "", "MLINK input file (default: the paper's)")
+		configPath = flag.String("config", "", "CONFIG host file (default: the paper's)")
+		task       = flag.String("task", "mainprog", "task name")
+		workers    = flag.Int("workers", 5, "number of workers to place")
+		churn      = flag.Bool("churn", false, "let each worker die before the next is placed (perpetual reuse)")
+	)
+	flag.Parse()
+
+	mlinkSrc := mconfig.PaperMlink()
+	if *mlinkPath != "" {
+		b, err := os.ReadFile(*mlinkPath)
+		if err != nil {
+			fatal(err)
+		}
+		mlinkSrc = string(b)
+	}
+	configSrc := mconfig.PaperConfig()
+	if *configPath != "" {
+		b, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		configSrc = string(b)
+	}
+
+	file, err := mlink.Parse(mlinkSrc)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := mconfig.Parse(configSrc)
+	if err != nil {
+		fatal(err)
+	}
+	placer, err := cfg.Placer(*task)
+	if err != nil {
+		fatal(err)
+	}
+
+	rule := file.RuleFor(*task)
+	fmt.Printf("task %q: perpetual=%v load=%d includes=%v\n", *task, rule.Perpetual, rule.Load, rule.Includes)
+
+	b := mlink.NewBundler(file, *task)
+	hostOf := map[int]string{}
+	place := func(manifold string) *mlink.Instance {
+		inst, fresh := b.Place(manifold)
+		if fresh {
+			hostOf[inst.ID] = placer.Next()
+			fmt.Printf("fork   task instance %d on %-22s <- %s\n", inst.ID, hostOf[inst.ID], manifold)
+		} else {
+			fmt.Printf("reuse  task instance %d on %-22s <- %s\n", inst.ID, hostOf[inst.ID], manifold)
+		}
+		return inst
+	}
+
+	place("Master")
+	var prev *mlink.Instance
+	for i := 0; i < *workers; i++ {
+		if *churn && prev != nil {
+			if err := b.Leave(prev, "Worker"); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("bye    task instance %d (worker done, instance alive=%v)\n", prev.ID, prev.Alive())
+		}
+		prev = place("Worker")
+	}
+	fmt.Printf("total: %d fresh task instance(s) for 1 master + %d workers\n", b.Forks(), *workers)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mflink:", err)
+	os.Exit(1)
+}

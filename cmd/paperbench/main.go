@@ -1,0 +1,87 @@
+// Command paperbench regenerates the paper's evaluation: Table 1 and
+// Figures 1-5, printed side by side with the published numbers.
+//
+// Usage:
+//
+//	paperbench -all
+//	paperbench -table1 -tol 1e-3
+//	paperbench -fig 1
+//	paperbench -table1 -runs 5    # average five noisy runs, as the paper did
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		table1 = flag.Bool("table1", false, "regenerate Table 1")
+		fig    = flag.Int("fig", 0, "regenerate one figure (1-5)")
+		tol    = flag.Float64("tol", 1e-3, "integrator tolerance (1e-3 or 1e-4)")
+		runs   = flag.Int("runs", 1, "noisy runs to average (1 = noise-free)")
+		maxLvl = flag.Int("maxlevel", 15, "highest additional refinement level")
+	)
+	flag.Parse()
+
+	if !*all && !*table1 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	table := func(tol float64) []bench.Row {
+		opt := bench.DefaultTable1Options(tol)
+		opt.MaxLevel = *maxLvl
+		opt.Runs = *runs
+		return bench.Table1(opt)
+	}
+
+	if *table1 || *all {
+		tols := []float64{*tol}
+		if *all {
+			tols = []float64{1e-3, 1e-4}
+		}
+		for _, tl := range tols {
+			bench.WriteTable1(os.Stdout, tl, table(tl))
+			fmt.Println()
+		}
+	}
+	doFig := func(n int) {
+		switch n {
+		case 1:
+			bench.WriteFigure1(os.Stdout, bench.Figure1(2, *maxLvl, 1e-3))
+		case 2:
+			rows := table(1e-3)
+			bench.WriteFigure(os.Stdout, "Figure 2: sequential vs concurrent time, tol 1.0e-3 (log scale)",
+				bench.TimesFigure(rows, 1e-3), true)
+		case 3:
+			rows := table(1e-3)
+			bench.WriteFigure(os.Stdout, "Figure 3: speedup and machines, tol 1.0e-3",
+				bench.SpeedupFigure(rows, 1e-3), false)
+		case 4:
+			rows := table(1e-4)
+			bench.WriteFigure(os.Stdout, "Figure 4: sequential vs concurrent time, tol 1.0e-4 (log scale)",
+				bench.TimesFigure(rows, 1e-4), true)
+		case 5:
+			rows := table(1e-4)
+			bench.WriteFigure(os.Stdout, "Figure 5: speedup and machines, tol 1.0e-4",
+				bench.SpeedupFigure(rows, 1e-4), false)
+		default:
+			fmt.Fprintf(os.Stderr, "paperbench: no figure %d (want 1-5)\n", n)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	if *fig != 0 {
+		doFig(*fig)
+	}
+	if *all {
+		for n := 1; n <= 5; n++ {
+			doFig(n)
+		}
+	}
+}

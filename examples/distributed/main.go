@@ -1,0 +1,116 @@
+// Distributed: reproduce §6 of the paper — running the concurrent version
+// on a cluster of workstations. The MLINK file bundles every Master or
+// Worker into its own task instance ({perpetual} {load 1}); the CONFIG
+// file names the five machines for forked task instances (the start-up
+// machine is bumpa.sen.cwi.nl); and the run prints the paper's
+// chronological Welcome/Bye output, each message labelled with host, task
+// instance, process instance, timestamp, task, manifold, source file and
+// line.
+//
+// The cluster is simulated (internal/sim + internal/cluster) with the
+// paper's machine mix, so the run is deterministic and instantaneous while
+// preserving the sequencing. Afterwards the ebb & flow of machines is
+// reconstructed from the log, exactly the way the paper built Figure 1.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/manifold/mconfig"
+	"repro/internal/manifold/mlink"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workmodel"
+)
+
+const (
+	level = 2 // five workers, as in the paper's §6 walk-through
+	tol   = 1e-3
+	epoch = 1048087412 // the timestamp base seen in the paper's output
+)
+
+func main() {
+	linkFile, err := mlink.Parse(mconfig.PaperMlink())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := mconfig.Parse(mconfig.PaperConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	placer, err := cfg.Placer("mainprog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule := linkFile.RuleFor("mainprog")
+	fmt.Printf("# mainprog.mlink: perpetual=%v load=%d; hosts: %v\n\n",
+		rule.Perpetual, rule.Load, placer.Hosts())
+
+	env := sim.NewEnv()
+	cl := cluster.NewPaper(env)
+	model := workmodel.Paper()
+	logger := trace.NewLogger(os.Stdout, epoch)
+
+	startup := cl.MachineByName("bumpa.sen.cwi.nl")
+	bundler := mlink.NewBundler(linkFile, "mainprog")
+	hostOf := map[int]*cluster.Machine{}
+
+	say := func(p *sim.Proc, host *cluster.Machine, inst *mlink.Instance, procID int, manifold string, line int, msg string) {
+		logger.Log(p.Now(), trace.Entry{
+			Host: host.Name(), TaskID: 262144 + inst.ID*262144 + inst.ID, ProcID: procID,
+			Task: "mainprog", Manifold: manifold, File: "ResSourceCode.c", Line: line, Msg: msg,
+		})
+	}
+
+	results := sim.NewStore[grid.Grid](env, "dataport")
+	env.Spawn("Master", func(p *sim.Proc) {
+		p.Hold(0.1) // runtime start-up
+		masterInst, _ := bundler.Place("Master")
+		hostOf[masterInst.ID] = startup
+		say(p, startup, masterInst, 140, "Master(port in)", 136, "Welcome")
+		fam := grid.Family(2, level)
+		for _, g := range fam {
+			g := g
+			inst, fresh := bundler.Place("Worker")
+			if fresh {
+				hostOf[inst.ID] = cl.MachineByName(placer.Next())
+				p.Hold(0.08) // fork
+			} else {
+				p.Hold(0.03) // reuse of a perpetual task instance
+			}
+			host := hostOf[inst.ID]
+			cl.Transfer(p, startup, host, workmodel.JobBytes(g))
+			env.Spawn("Worker", func(w *sim.Proc) {
+				say(w, host, inst, 79+inst.ID, "Worker(event)", 351, "Welcome")
+				cl.Compute(w, host, model.GridWork(g, tol))
+				cl.Transfer(w, host, startup, workmodel.ResultBytes(g))
+				say(w, host, inst, 79+inst.ID, "Worker(event)", 370, "Bye")
+				if err := bundler.Leave(inst, "Worker"); err != nil {
+					log.Fatal(err)
+				}
+				results.Put(g)
+			})
+		}
+		for range fam {
+			results.Get(p)
+		}
+		say(p, startup, masterInst, 140, "Master(port in)", 337, "Bye")
+	})
+	env.Run()
+	if blocked := env.Blocked(); len(blocked) > 0 {
+		log.Fatalf("deadlock: %v", blocked)
+	}
+
+	fmt.Printf("\n# %d workers ran in %d fresh task instance(s) thanks to perpetual reuse\n",
+		2*level+1, bundler.Forks())
+	fmt.Println("# machines in use over the run (reconstructed from the log, as for Figure 1):")
+	for _, pt := range trace.MachineEbbFlow(logger.Entries()) {
+		fmt.Printf("#   t=%.3fs machines=%d\n", pt.T-epoch, pt.Count)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: coordinate plain Go worker functions with the paper's
+// generic master/worker protocol (internal/core).
+//
+// The protocol is exactly the MANIFOLD ProtocolMW of the paper: the master
+// asks the coordinator for a pool (CreatePool), requests workers one by
+// one (CreateWorker), charges each through its own output port (Send),
+// collects results from its dataport (ReadResult), synchronizes on the
+// pool's death (Rendezvous), and finally releases the coordinator
+// (Finished). Neither the master nor the workers know anything about each
+// other: all communication is wired from the outside.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+func main() {
+	jobs := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	var results []int
+
+	core.Run(func(m *core.Master) {
+		m.CreatePool()
+		for _, j := range jobs {
+			m.CreateWorker() // the coordinator forks one and hands back &worker
+			m.Send(j)        // the job flows master.output -> worker.input
+		}
+		for range jobs {
+			// Results arrive in completion order through the KK stream
+			// worker.output -> master.dataport.
+			results = append(results, m.ReadResult().(int))
+		}
+		m.Rendezvous() // wait until every worker has died
+		m.Finished()   // the coordinator halts; the master continues
+	}, func(w *core.Worker) {
+		n := w.Read().(int)
+		w.Write(n * n)
+	})
+
+	sort.Ints(results)
+	fmt.Println("squares:", results)
+}

@@ -1,0 +1,90 @@
+// Rotation: the protocol's genericity on a different computation — the
+// classic Molenkamp solid-body-rotation transport test. A Gaussian pulse
+// is carried a quarter revolution around the unit square; each worker of
+// the pool integrates one sparse-grid family member with the
+// variable-coefficient discretization and the ILU-preconditioned
+// Rosenbrock solver. The coordinator is the unchanged ProtocolMW of the
+// paper: it neither knows nor cares that the computation changed.
+//
+//	go run ./examples/rotation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/pde"
+	"repro/internal/rosenbrock"
+)
+
+type job struct {
+	g grid.Grid
+}
+
+type result struct {
+	g     grid.Grid
+	u     linalg.Vector
+	steps int
+}
+
+func main() {
+	const (
+		root    = 3
+		level   = 2
+		quarter = 0.25 // one revolution per unit time
+	)
+	prob := pde.RotatingProblem(2*math.Pi, 5e-4)
+	fam := grid.Family(root, level)
+	results := map[grid.Grid]result{}
+
+	core.Run(func(m *core.Master) {
+		m.CreatePool()
+		for _, g := range fam {
+			m.CreateWorker()
+			m.Send(job{g: g})
+		}
+		for range fam {
+			r := m.ReadResult().(result)
+			results[r.g] = r
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *core.Worker) {
+		j := w.Read().(job)
+		d := pde.NewVarDisc(j.g, prob)
+		u := d.InitialInterior()
+		st, err := rosenbrock.Integrate(d, u, 0, quarter,
+			rosenbrock.Config{Tol: 1e-4, Solver: rosenbrock.ILU})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Write(result{g: j.g, u: u, steps: st.Steps})
+	})
+
+	// Combine on the evaluation grid and locate the rotated pulse.
+	target := grid.Grid{Root: root, L1: level, L2: level}
+	var fields []*grid.Field
+	for _, g := range fam {
+		r := results[g]
+		d := pde.NewVarDisc(g, prob)
+		fields = append(fields, d.FieldFromInterior(r.u, quarter))
+		fmt.Printf("grid (%d,%d): %3d Rosenbrock steps\n", g.L1, g.L2, r.steps)
+	}
+	combined := grid.Combine(fields, level, target)
+
+	bestX, bestY, best := 0.0, 0.0, math.Inf(-1)
+	for iy := 0; iy <= target.NY(); iy++ {
+		for ix := 0; ix <= target.NX(); ix++ {
+			if v := combined.At(ix, iy); v > best {
+				best, bestX, bestY = v, target.X(ix), target.Y(iy)
+			}
+		}
+	}
+	fmt.Printf("\npulse started at (0.50, 0.25); after a quarter turn the peak (%.2f) sits at (%.2f, %.2f)\n",
+		best, bestX, bestY)
+	fmt.Println("expected: near (0.75, 0.50) — counterclockwise rotation")
+}

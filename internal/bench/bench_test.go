@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeHolds(t *testing.T) {
+	for _, tol := range []float64{1e-3, 1e-4} {
+		rows := Table1(DefaultTable1Options(tol))
+		if len(rows) != 16 {
+			t.Fatalf("tol %g: %d rows, want 16", tol, len(rows))
+		}
+		devs := Compare(tol, rows)
+		paper := PaperTable(tol)
+		for i, d := range devs {
+			// Sequential times: within 35% wherever the paper value is
+			// large enough to be meaningful (sub-second rows carry the
+			// granularity of /bin/time); allow 50% up to 10 s.
+			if p := paper[i].St; p >= 1 {
+				limit := 0.35
+				if p < 10 {
+					limit = 0.5
+				}
+				if d.StRel > limit {
+					t.Errorf("tol %g level %d: st deviates %.0f%%", tol, d.Level, 100*d.StRel)
+				}
+			}
+			// Concurrent times: within a factor ~2 relative or 12 s
+			// absolute — the paper's own low-level ct column is
+			// non-monotone by that much (ct(3)=7.44 < ct(0)=7.68).
+			abs := math.Abs(rows[i].Ct - paper[i].Ct)
+			if !math.IsNaN(d.CtRel) && d.CtRel > 1.0 && abs > 12 {
+				t.Errorf("tol %g level %d: ct deviates %.0f%% (%.1f s)", tol, d.Level, 100*d.CtRel, abs)
+			}
+		}
+		// The crossover must match at all levels except possibly the two
+		// levels adjacent to the paper's crossover (10).
+		for _, d := range devs {
+			if d.Level <= 8 || d.Level >= 12 {
+				if !d.CrossTogether {
+					t.Errorf("tol %g level %d: model and paper on different sides of speedup 1", tol, d.Level)
+				}
+			}
+		}
+		// Final speedup within 25% of the paper.
+		last := rows[len(rows)-1]
+		p15 := paper[15]
+		if math.Abs(last.Su-p15.Su)/p15.Su > 0.25 {
+			t.Errorf("tol %g: su(15) = %.2f, paper %.2f", tol, last.Su, p15.Su)
+		}
+	}
+}
+
+func TestTable1MonotoneColumns(t *testing.T) {
+	rows := Table1(DefaultTable1Options(1e-3))
+	for i := 1; i < len(rows); i++ {
+		if rows[i].St <= rows[i-1].St {
+			t.Errorf("st not increasing at level %d", rows[i].Level)
+		}
+		if rows[i].Level >= 5 && rows[i].Ct <= rows[i-1].Ct {
+			t.Errorf("ct not increasing at level %d", rows[i].Level)
+		}
+	}
+}
+
+func TestWriteTable1Renders(t *testing.T) {
+	rows := Table1(Table1Options{Root: 2, MaxLevel: 3, Tol: 1e-3, Runs: 1})
+	var sb strings.Builder
+	WriteTable1(&sb, 1e-3, rows)
+	out := sb.String()
+	for _, want := range []string{"Table 1", "level", "st", "su", "reconstructed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAveragedRunsCloseToNoiseFree(t *testing.T) {
+	opt := Table1Options{Root: 2, MaxLevel: 8, Tol: 1e-3, Runs: 5, NoiseAmp: 0.05}
+	noisy := Table1(opt)
+	clean := Table1(Table1Options{Root: 2, MaxLevel: 8, Tol: 1e-3, Runs: 1})
+	for i := range clean {
+		if clean[i].Ct == 0 {
+			continue
+		}
+		rel := math.Abs(noisy[i].Ct-clean[i].Ct) / clean[i].Ct
+		if rel > 0.10 {
+			t.Errorf("level %d: 5-run average deviates %.0f%% from noise-free", clean[i].Level, 100*rel)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	f := Figure1(2, 15, 1e-3)
+	paper := PaperFigure1Stats()
+	if f.PeakM < 12 || f.PeakM > paper.PeakM {
+		t.Errorf("peak machines %d, want 12..%d", f.PeakM, paper.PeakM)
+	}
+	if f.AvgM < 8 || f.AvgM > 16 {
+		t.Errorf("avg machines %.1f, want 8-16 (paper 11)", f.AvgM)
+	}
+	if len(f.Trace) < 20 {
+		t.Errorf("trace too coarse: %d points", len(f.Trace))
+	}
+	var sb strings.Builder
+	WriteFigure1(&sb, f)
+	if !strings.Contains(sb.String(), "machines") {
+		t.Error("figure 1 rendering missing legend")
+	}
+}
+
+func TestTimesFigureSeries(t *testing.T) {
+	rows := Table1(DefaultTable1Options(1e-3))
+	curves := TimesFigure(rows, 1e-3)
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves, want 2", len(curves))
+	}
+	// The sequential and concurrent curves must cross exactly once (the
+	// paper's Figures 2/4: ct starts above st and ends below).
+	seq, conc := curves[0], curves[1]
+	crossings := 0
+	for i := 1; i < len(seq.Levels); i++ {
+		before := seq.Measured[i-1] > conc.Measured[i-1]
+		after := seq.Measured[i] > conc.Measured[i]
+		if before != after {
+			crossings++
+		}
+	}
+	if crossings != 1 {
+		t.Errorf("st/ct curves cross %d times, want exactly 1", crossings)
+	}
+}
+
+func TestSpeedupFigureSeries(t *testing.T) {
+	rows := Table1(DefaultTable1Options(1e-4))
+	curves := SpeedupFigure(rows, 1e-4)
+	if curves[0].Name != "speedup" || curves[1].Name != "machines" {
+		t.Fatalf("unexpected curve names: %v, %v", curves[0].Name, curves[1].Name)
+	}
+	// Speedup must stay below machines at every level (the paper's
+	// observation).
+	for i := range curves[0].Levels {
+		if curves[0].Measured[i] >= curves[1].Measured[i] {
+			t.Errorf("level %d: speedup %.2f >= machines %.2f",
+				curves[0].Levels[i], curves[0].Measured[i], curves[1].Measured[i])
+		}
+	}
+}
+
+func TestWriteFigureLogScale(t *testing.T) {
+	rows := Table1(Table1Options{Root: 2, MaxLevel: 6, Tol: 1e-3, Runs: 1})
+	var sb strings.Builder
+	WriteFigure(&sb, "Figure 2", TimesFigure(rows, 1e-3), true)
+	out := sb.String()
+	if !strings.Contains(out, "log10") {
+		t.Error("log-scale figure missing log10 marker")
+	}
+	if !strings.Contains(out, "sequential time (s) (paper)") {
+		t.Error("missing paper series legend")
+	}
+}
+
+func TestPaperDataSane(t *testing.T) {
+	for _, tol := range []float64{1e-3, 1e-4} {
+		rows := PaperTable(tol)
+		if len(rows) != 16 {
+			t.Fatalf("paper table for %g has %d rows", tol, len(rows))
+		}
+		for i, r := range rows {
+			if r.Level != i {
+				t.Errorf("row %d has level %d", i, r.Level)
+			}
+			if r.St < 0 || r.Ct <= 0 || r.M <= 0 {
+				t.Errorf("row %d has nonsense values: %+v", i, r)
+			}
+		}
+		if rows[15].Su < 7 {
+			t.Errorf("paper su(15) = %g, expected ~7.8/7.9", rows[15].Su)
+		}
+	}
+	// Reconstructed rows exist only in the 1e-3 table.
+	for _, r := range PaperTable1e4() {
+		if r.Reconstructed {
+			t.Errorf("1e-4 row %d marked reconstructed", r.Level)
+		}
+	}
+}

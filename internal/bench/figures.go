@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mwsim"
+)
+
+// Figure1Result is the regenerated ebb & flow of one level-15 run.
+type Figure1Result struct {
+	Trace       []cluster.UsagePoint
+	DurationSec float64
+	PeakM       int
+	AvgM        float64
+}
+
+// Figure1 regenerates the paper's Figure 1: the number of machines in use
+// over the course of one concurrent run.
+func Figure1(root, level int, tol float64) Figure1Result {
+	r := mwsim.Run(mwsim.PaperConfig(root, level, tol))
+	return Figure1Result{
+		Trace:       r.Trace,
+		DurationSec: r.ConcurrentSec,
+		PeakM:       r.PeakMachines,
+		AvgM:        r.AvgMachines,
+	}
+}
+
+// WriteFigure1 renders the ebb & flow as an ASCII step plot, in the spirit
+// of the paper's gnuplot figure ("elapsed time in seconds versus number of
+// machines").
+func WriteFigure1(w io.Writer, f Figure1Result) {
+	paper := PaperFigure1Stats()
+	fmt.Fprintf(w, "Figure 1: machines in use during a level-15 run\n")
+	fmt.Fprintf(w, "measured: duration %.0f s, peak %d machines, weighted average %.1f\n",
+		f.DurationSec, f.PeakM, f.AvgM)
+	fmt.Fprintf(w, "paper:    duration %.0f s, peak %d machines, weighted average %.1f\n\n",
+		paper.DurationSec, paper.PeakM, paper.AvgM)
+	plotSeries(w, []series{{name: "machines", pts: tracePoints(f.Trace, f.DurationSec)}},
+		"t (s)", 70, 16, false)
+}
+
+func tracePoints(trace []cluster.UsagePoint, end float64) []point {
+	var pts []point
+	for i, u := range trace {
+		// Render the step function: hold the previous value up to this
+		// change point.
+		if i > 0 {
+			pts = append(pts, point{x: u.T, y: float64(trace[i-1].Count)})
+		}
+		pts = append(pts, point{x: u.T, y: float64(u.Count)})
+	}
+	if n := len(trace); n > 0 && trace[n-1].T < end {
+		pts = append(pts, point{x: end, y: float64(trace[n-1].Count)})
+	}
+	return pts
+}
+
+// FigureSeries is one curve of Figures 2-5 with the paper's counterpart.
+type FigureSeries struct {
+	Name     string
+	Levels   []int
+	Measured []float64
+	Paper    []float64
+}
+
+// Figure2 returns the curves of the paper's Figure 2 (or 4 for tol 1e-4):
+// average sequential and concurrent times per level, log scale.
+func TimesFigure(rows []Row, tol float64) []FigureSeries {
+	paper := PaperTable(tol)
+	var lv []int
+	var st, ct, pst, pct []float64
+	for _, r := range rows {
+		p := paperRowFor(paper, r.Level)
+		lv = append(lv, r.Level)
+		st = append(st, r.St)
+		ct = append(ct, r.Ct)
+		pst = append(pst, p.St)
+		pct = append(pct, p.Ct)
+	}
+	return []FigureSeries{
+		{Name: "sequential time (s)", Levels: lv, Measured: st, Paper: pst},
+		{Name: "concurrent time (s)", Levels: lv, Measured: ct, Paper: pct},
+	}
+}
+
+// SpeedupFigure returns the curves of the paper's Figure 3 (or 5 for tol
+// 1e-4): speedup and weighted machine count per level.
+func SpeedupFigure(rows []Row, tol float64) []FigureSeries {
+	paper := PaperTable(tol)
+	var lv []int
+	var su, m, psu, pm []float64
+	for _, r := range rows {
+		p := paperRowFor(paper, r.Level)
+		lv = append(lv, r.Level)
+		su = append(su, r.Su)
+		m = append(m, r.M)
+		psu = append(psu, p.Su)
+		pm = append(pm, p.M)
+	}
+	return []FigureSeries{
+		{Name: "speedup", Levels: lv, Measured: su, Paper: psu},
+		{Name: "machines", Levels: lv, Measured: m, Paper: pm},
+	}
+}
+
+// WriteFigure renders measured-vs-paper curves as an ASCII chart plus the
+// underlying numbers. logY plots log10 of the values (the paper uses a
+// logarithmic scale in Figures 2 and 4 "because of the wide range").
+func WriteFigure(w io.Writer, title string, curves []FigureSeries, logY bool) {
+	fmt.Fprintf(w, "%s\n", title)
+	var ss []series
+	for _, c := range curves {
+		mp := make([]point, len(c.Levels))
+		pp := make([]point, len(c.Levels))
+		for i, l := range c.Levels {
+			mp[i] = point{x: float64(l), y: c.Measured[i]}
+			pp[i] = point{x: float64(l), y: c.Paper[i]}
+		}
+		ss = append(ss,
+			series{name: c.Name + " (measured)", pts: mp},
+			series{name: c.Name + " (paper)", pts: pp})
+	}
+	plotSeries(w, ss, "level", 64, 18, logY)
+	fmt.Fprintln(w)
+	// Numeric companion table.
+	fmt.Fprintf(w, "level")
+	for _, c := range curves {
+		fmt.Fprintf(w, " | %s meas/paper", c.Name)
+	}
+	fmt.Fprintln(w)
+	for i, l := range curves[0].Levels {
+		fmt.Fprintf(w, "%5d", l)
+		for _, c := range curves {
+			fmt.Fprintf(w, " | %10.2f /%10.2f", c.Measured[i], c.Paper[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- minimal ASCII plotting ---
+
+type point struct{ x, y float64 }
+
+type series struct {
+	name string
+	pts  []point
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// plotSeries renders series as an ASCII scatter/step chart of the given
+// size. With logY, y values are log10-transformed (non-positive values are
+// dropped).
+func plotSeries(w io.Writer, ss []series, xlabel string, width, height int, logY bool) {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	transform := func(y float64) (float64, bool) {
+		if logY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	for _, s := range ss {
+		for _, p := range s.pts {
+			y, ok := transform(p.y)
+			if !ok {
+				continue
+			}
+			minX = math.Min(minX, p.x)
+			maxX = math.Max(maxX, p.x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range ss {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.pts {
+			y, ok := transform(p.y)
+			if !ok {
+				continue
+			}
+			col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+	yLo, yHi := minY, maxY
+	scale := ""
+	if logY {
+		scale = " (log10)"
+	}
+	fmt.Fprintf(w, "  y%s: %.3g .. %.3g\n", scale, yLo, yHi)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   %-8.3g%s%8.3g  (%s)\n", minX, strings.Repeat(" ", max(0, width-18)), maxX, xlabel)
+	for si, s := range ss {
+		fmt.Fprintf(w, "   %c = %s\n", glyphs[si%len(glyphs)], s.name)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

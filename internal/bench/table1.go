@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mwsim"
+)
+
+// Row is one regenerated row of Table 1.
+type Row struct {
+	Level int
+	St    float64
+	Ct    float64
+	M     float64
+	Su    float64
+	Peak  int
+	Forks int
+}
+
+// Table1Options controls the regeneration.
+type Table1Options struct {
+	Root     int
+	MaxLevel int
+	Tol      float64
+	// Runs > 1 averages several noisy runs (the paper averaged five);
+	// Runs <= 1 performs one noise-free run.
+	Runs int
+	// NoiseAmp is the relative compute perturbation for noisy runs.
+	NoiseAmp float64
+}
+
+// DefaultTable1Options mirrors the paper: root 2, levels 0-15.
+func DefaultTable1Options(tol float64) Table1Options {
+	return Table1Options{Root: 2, MaxLevel: 15, Tol: tol, Runs: 1, NoiseAmp: 0.05}
+}
+
+// Table1 regenerates the paper's Table 1 for one tolerance by running the
+// cluster simulation at every level.
+func Table1(opt Table1Options) []Row {
+	rows := make([]Row, 0, opt.MaxLevel+1)
+	for level := 0; level <= opt.MaxLevel; level++ {
+		cfg := mwsim.PaperConfig(opt.Root, level, opt.Tol)
+		var r mwsim.Result
+		if opt.Runs > 1 {
+			var acc mwsim.Result
+			for i := 0; i < opt.Runs; i++ {
+				ri := mwsim.RunNoisy(cfg, int64(1000*level+i), opt.NoiseAmp)
+				acc.ConcurrentSec += ri.ConcurrentSec
+				acc.SequentialSec += ri.SequentialSec
+				acc.AvgMachines += ri.AvgMachines
+				if ri.PeakMachines > acc.PeakMachines {
+					acc.PeakMachines = ri.PeakMachines
+				}
+				acc.Forks += ri.Forks
+			}
+			n := float64(opt.Runs)
+			r = mwsim.Result{
+				ConcurrentSec: acc.ConcurrentSec / n,
+				SequentialSec: acc.SequentialSec / n,
+				AvgMachines:   acc.AvgMachines / n,
+				PeakMachines:  acc.PeakMachines,
+				Forks:         acc.Forks / opt.Runs,
+			}
+			r.Speedup = r.SequentialSec / r.ConcurrentSec
+		} else {
+			r = mwsim.Run(cfg)
+		}
+		rows = append(rows, Row{
+			Level: level,
+			St:    r.SequentialSec,
+			Ct:    r.ConcurrentSec,
+			M:     r.AvgMachines,
+			Su:    r.Speedup,
+			Peak:  r.PeakMachines,
+			Forks: r.Forks,
+		})
+	}
+	return rows
+}
+
+// WriteTable1 renders regenerated rows side by side with the paper's
+// published values.
+func WriteTable1(w io.Writer, tol float64, rows []Row) {
+	paper := PaperTable(tol)
+	fmt.Fprintf(w, "Table 1 reproduction, tol = %.0e (measured / paper)\n", tol)
+	fmt.Fprintf(w, "level |          st          |          ct          |        m       |      su\n")
+	fmt.Fprintf(w, "------+----------------------+----------------------+----------------+---------------\n")
+	for _, r := range rows {
+		p := paperRowFor(paper, r.Level)
+		mark := " "
+		if p.Reconstructed {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%5d | %9.2f /%9.2f%s | %9.2f /%9.2f%s | %5.1f /%5.1f%s | %5.1f /%5.1f%s\n",
+			r.Level, r.St, p.St, mark, r.Ct, p.Ct, mark, r.M, p.M, mark, r.Su, p.Su, mark)
+	}
+	fmt.Fprintf(w, "(* = paper value reconstructed; see EXPERIMENTS.md)\n")
+}
+
+func paperRowFor(rows []PaperRow, level int) PaperRow {
+	for _, r := range rows {
+		if r.Level == level {
+			return r
+		}
+	}
+	return PaperRow{Level: level, St: math.NaN(), Ct: math.NaN(), M: math.NaN(), Su: math.NaN()}
+}
+
+// Deviation summarizes how far a regenerated table is from the paper.
+type Deviation struct {
+	Level         int
+	StRel         float64 // |model-paper| / paper (NaN when paper value ~0)
+	CtRel         float64
+	MAbs          float64
+	SuAbs         float64
+	CrossTogether bool // both model and paper are on the same side of su=1
+}
+
+// Compare computes per-level deviations from the published table.
+func Compare(tol float64, rows []Row) []Deviation {
+	paper := PaperTable(tol)
+	var out []Deviation
+	for _, r := range rows {
+		p := paperRowFor(paper, r.Level)
+		d := Deviation{Level: r.Level, MAbs: math.Abs(r.M - p.M), SuAbs: math.Abs(r.Su - p.Su)}
+		if p.St > 0.5 {
+			d.StRel = math.Abs(r.St-p.St) / p.St
+		} else {
+			d.StRel = math.NaN()
+		}
+		if p.Ct > 0.5 {
+			d.CtRel = math.Abs(r.Ct-p.Ct) / p.Ct
+		} else {
+			d.CtRel = math.NaN()
+		}
+		d.CrossTogether = (r.Su >= 1) == (p.Su >= 1)
+		out = append(out, d)
+	}
+	return out
+}

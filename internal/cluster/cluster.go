@@ -1,0 +1,402 @@
+// Package cluster models the hardware substrate of the paper's evaluation:
+// a cluster of single-processor workstations with heterogeneous CPU clock
+// rates connected by switched 100 Mbps Ethernet, on which operating-system
+// level task instances are forked, reused ("perpetual" semantics) and
+// retired.
+//
+// The model runs on the deterministic virtual clock of internal/sim, so a
+// paper-scale experiment (thousands of seconds of 2004 wall-clock time)
+// replays in milliseconds while preserving the sequencing that shaped the
+// paper's numbers: sequential task forks, master-mediated data transfers,
+// CPU contention and the ebb & flow of live task instances.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// MachineSpec describes one workstation.
+type MachineSpec struct {
+	Name string
+	MHz  float64 // CPU clock rate in MHz; work is expressed in megacycles
+}
+
+// PaperCluster returns the 32-machine CWI cluster from §7 of the paper:
+// 24 AMD Athlons at 1200 MHz, 5 at 1400 MHz and 3 at 1466 MHz, all with
+// switched 100 Mbps Ethernet. The six host names that appear in the paper's
+// §6 output come first; the remaining names are synthesized in the same
+// style (the paper's hosts are named after folk instruments).
+func PaperCluster() []MachineSpec {
+	names := []string{
+		"bumpa", "diplice", "alboka", "altfluit", "arghul", "basfluit",
+		"bansuri", "bombarde", "cimbasso", "cornamusa", "didgeridoo", "dizi",
+		"duduk", "dulzaina", "fujara", "gaita", "gemshorn", "hichiriki",
+		"hulusi", "kaval", "launeddas", "mizmar", "ocarina", "pibgorn",
+		"quena", "rauschpfeife", "shakuhachi", "shawm", "sopilka", "tarogato",
+		"tsampouna", "zurna",
+	}
+	specs := make([]MachineSpec, 32)
+	for i := range specs {
+		mhz := 1200.0
+		switch {
+		case i >= 29: // 3 machines at 1466 MHz
+			mhz = 1466
+		case i >= 24: // 5 machines at 1400 MHz
+			mhz = 1400
+		}
+		specs[i] = MachineSpec{Name: names[i] + ".sen.cwi.nl", MHz: mhz}
+	}
+	return specs
+}
+
+// Machine is a single-processor workstation: a CPU (capacity 1) and a
+// network interface that serializes this host's transfers.
+type Machine struct {
+	Spec  MachineSpec
+	Index int
+	cpu   *sim.Resource
+	nic   *sim.Resource
+}
+
+// Name returns the host name.
+func (m *Machine) Name() string { return m.Spec.Name }
+
+// Cluster is a set of machines plus the shared network parameters and the
+// task-instance bookkeeping.
+type Cluster struct {
+	Env           *sim.Env
+	Machines      []*Machine
+	BandwidthMbps float64 // per-link bandwidth of the switched Ethernet
+	LatencySec    float64 // per-message latency (switch + protocol stack)
+
+	// Noise, when non-nil, multiplies every compute duration by a factor
+	// drawn from this source, emulating the paper's multi-user
+	// perturbations. Nil means noise-free.
+	Noise *rand.Rand
+	// NoiseAmplitude is the maximum relative perturbation (e.g. 0.05 for
+	// +/-5%). Only used when Noise is non-nil.
+	NoiseAmplitude float64
+
+	trace  UsageTrace
+	nextID int
+	alive  int
+}
+
+// New builds a cluster over the given simulation environment.
+func New(env *sim.Env, specs []MachineSpec, bandwidthMbps, latencySec float64) *Cluster {
+	c := &Cluster{
+		Env:           env,
+		BandwidthMbps: bandwidthMbps,
+		LatencySec:    latencySec,
+	}
+	for i, s := range specs {
+		c.Machines = append(c.Machines, &Machine{
+			Spec:  s,
+			Index: i,
+			cpu:   sim.NewResource(env, s.Name+"/cpu", 1),
+			nic:   sim.NewResource(env, s.Name+"/nic", 1),
+		})
+	}
+	return c
+}
+
+// NewPaper builds the paper's 32-node cluster (100 Mbps, 0.5 ms latency).
+func NewPaper(env *sim.Env) *Cluster {
+	return New(env, PaperCluster(), 100, 0.0005)
+}
+
+// MachineByName returns the machine with the given host name, or nil.
+func (c *Cluster) MachineByName(name string) *Machine {
+	for _, m := range c.Machines {
+		if m.Spec.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Compute occupies machine m's CPU for work megacycles of computation
+// (seconds = megacycles / MHz), queueing behind other processes using the
+// same CPU.
+func (c *Cluster) Compute(p *sim.Proc, m *Machine, megacycles float64) {
+	if megacycles < 0 {
+		panic(fmt.Sprintf("cluster: negative work %g", megacycles))
+	}
+	d := megacycles / m.Spec.MHz
+	if c.Noise != nil {
+		d *= 1 + c.NoiseAmplitude*(2*c.Noise.Float64()-1)
+	}
+	m.cpu.Acquire(p, 1)
+	p.Hold(d)
+	m.cpu.Release(1)
+}
+
+// Transfer moves bytes from one machine to another, serializing on both
+// hosts' network interfaces. Transfers within one host are free (shared
+// memory between threads of one task instance).
+func (c *Cluster) Transfer(p *sim.Proc, from, to *Machine, bytes float64) {
+	if from == to {
+		return
+	}
+	// Acquire NICs in index order so concurrent opposite transfers cannot
+	// deadlock on the FIFO resources.
+	first, second := from, to
+	if second.Index < first.Index {
+		first, second = second, first
+	}
+	first.nic.Acquire(p, 1)
+	second.nic.Acquire(p, 1)
+	p.Hold(c.LatencySec + bytes*8/(c.BandwidthMbps*1e6))
+	second.nic.Release(1)
+	first.nic.Release(1)
+}
+
+// TaskInstance is an operating-system level process housing one or more
+// coordination-level processes (threads). It corresponds to a MANIFOLD task
+// instance: it has a weight-based load, may be perpetual (staying alive at
+// load zero to welcome new workers), and occupies one machine.
+type TaskInstance struct {
+	ID        int
+	Host      *Machine
+	Perpetual bool
+	MaxLoad   int
+	load      int
+	idleEpoch int
+	dead      bool
+}
+
+// Load returns the current load (sum of weights of housed processes).
+func (t *TaskInstance) Load() int { return t.load }
+
+// Alive reports whether the task instance still exists.
+func (t *TaskInstance) Alive() bool { return !t.dead }
+
+// SpawnerConfig controls task-instance creation.
+type SpawnerConfig struct {
+	// Loci is the list of machines on which new task instances may be
+	// started, used round-robin (the CONFIG {locus ...} line).
+	Loci []*Machine
+	// Perpetual keeps task instances alive at load zero for reuse (the
+	// MLINK {perpetual} keyword).
+	Perpetual bool
+	// MaxLoad is the load at which a task instance is full (the MLINK
+	// {load N} line).
+	MaxLoad int
+	// ForkCost is the virtual seconds needed to start a fresh task
+	// instance on a remote machine (process fork, executable start-up,
+	// inter-task channel setup).
+	ForkCost float64
+	// ReuseCost is the much smaller cost of placing a new process in an
+	// already-running perpetual task instance.
+	ReuseCost float64
+	// IdleTimeout, when positive, reclaims a perpetual task instance that
+	// has stayed at load zero for this many seconds.
+	IdleTimeout float64
+}
+
+// Spawner creates, reuses and retires task instances on a cluster,
+// recording the number of live instances over time (the paper's "number of
+// machines", Figure 1).
+type Spawner struct {
+	Cluster *Cluster
+	Config  SpawnerConfig
+	tasks   []*TaskInstance
+	next    int // round-robin cursor into Config.Loci
+	forks   int
+	reuses  int
+}
+
+// NewSpawner creates a spawner. The usage trace starts at zero machines.
+func NewSpawner(c *Cluster, cfg SpawnerConfig) *Spawner {
+	if cfg.MaxLoad < 1 {
+		cfg.MaxLoad = 1
+	}
+	s := &Spawner{Cluster: c, Config: cfg}
+	c.trace.record(c.Env.Now(), c.alive)
+	return s
+}
+
+func (c *Cluster) markAlive(delta int) {
+	c.alive += delta
+	c.trace.record(c.Env.Now(), c.alive)
+}
+
+// Place finds room for a process of the given weight: it reuses a live
+// task instance with spare load if one exists (cheap), otherwise forks a
+// fresh task instance on the next locus machine (expensive). The calling
+// simulated process pays the cost.
+func (s *Spawner) Place(p *sim.Proc, weight int) *TaskInstance {
+	// Prefer the oldest live instance with room (deterministic).
+	for _, t := range s.tasks {
+		if !t.dead && t.load+weight <= t.MaxLoad {
+			p.Hold(s.Config.ReuseCost)
+			t.load += weight
+			t.idleEpoch++ // invalidate any pending reap
+			s.reuses++
+			return t
+		}
+	}
+	host := s.Config.Loci[s.next%len(s.Config.Loci)]
+	s.next++
+	p.Hold(s.Config.ForkCost)
+	s.forks++
+	c := s.Cluster
+	c.nextID++
+	t := &TaskInstance{
+		ID:        c.nextID,
+		Host:      host,
+		Perpetual: s.Config.Perpetual,
+		MaxLoad:   s.Config.MaxLoad,
+		load:      weight,
+	}
+	s.tasks = append(s.tasks, t)
+	c.markAlive(1)
+	return t
+}
+
+// Adopt registers an externally created task instance (e.g. the start-up
+// task housing the master on the machine the user sits behind) so that it
+// is counted in the usage trace.
+func (s *Spawner) Adopt(host *Machine, weight int) *TaskInstance {
+	c := s.Cluster
+	c.nextID++
+	t := &TaskInstance{
+		ID:        c.nextID,
+		Host:      host,
+		Perpetual: s.Config.Perpetual,
+		MaxLoad:   s.Config.MaxLoad,
+		load:      weight,
+	}
+	s.tasks = append(s.tasks, t)
+	c.markAlive(1)
+	return t
+}
+
+// Leave removes one process of the given weight from t. A non-perpetual
+// task instance dies when its load reaches zero; a perpetual one stays
+// alive (but idle), ready to welcome a new worker.
+func (s *Spawner) Leave(t *TaskInstance, weight int) {
+	t.load -= weight
+	if t.load < 0 {
+		panic("cluster: task instance load below zero")
+	}
+	if t.load == 0 {
+		if !t.Perpetual {
+			s.kill(t)
+			return
+		}
+		// A perpetual task instance stays alive for reuse, but if nobody
+		// claims it within the idle timeout the runtime reclaims it (the
+		// dynamic shrinking visible in the paper's Figure 1).
+		if s.Config.IdleTimeout > 0 {
+			t.idleEpoch++
+			epoch := t.idleEpoch
+			s.Cluster.Env.SpawnAt(s.Cluster.Env.Now()+s.Config.IdleTimeout, "reaper", func(*sim.Proc) {
+				if !t.dead && t.load == 0 && t.idleEpoch == epoch {
+					s.kill(t)
+				}
+			})
+		}
+	}
+}
+
+// Retire kills a task instance regardless of perpetual status (end of the
+// application).
+func (s *Spawner) Retire(t *TaskInstance) {
+	if !t.dead {
+		s.kill(t)
+	}
+}
+
+// RetireAll kills every remaining task instance.
+func (s *Spawner) RetireAll() {
+	for _, t := range s.tasks {
+		if !t.dead {
+			s.kill(t)
+		}
+	}
+}
+
+func (s *Spawner) kill(t *TaskInstance) {
+	t.dead = true
+	s.Cluster.markAlive(-1)
+}
+
+// Alive returns the number of live task instances.
+func (c *Cluster) Alive() int { return c.alive }
+
+// Forks returns how many fresh task instances were started.
+func (s *Spawner) Forks() int { return s.forks }
+
+// Reuses returns how many times a live task instance welcomed a new
+// process.
+func (s *Spawner) Reuses() int { return s.reuses }
+
+// Trace returns the machine-usage trace recorded so far.
+func (c *Cluster) Trace() *UsageTrace { return &c.trace }
+
+// UsagePoint is one step of the machines-in-use step function.
+type UsagePoint struct {
+	T     sim.Time
+	Count int
+}
+
+// UsageTrace records the number of live task instances over time. Because
+// in the paper's deployment every task instance runs on a separate machine,
+// this is exactly "the number of machines" of Figure 1.
+type UsageTrace struct {
+	points []UsagePoint
+}
+
+func (u *UsageTrace) record(t sim.Time, count int) {
+	if n := len(u.points); n > 0 && u.points[n-1].T == t {
+		u.points[n-1].Count = count
+		return
+	}
+	u.points = append(u.points, UsagePoint{T: t, Count: count})
+}
+
+// Points returns the recorded step function.
+func (u *UsageTrace) Points() []UsagePoint { return u.points }
+
+// Peak returns the maximum simultaneous count.
+func (u *UsageTrace) Peak() int {
+	peak := 0
+	for _, p := range u.points {
+		if p.Count > peak {
+			peak = p.Count
+		}
+	}
+	return peak
+}
+
+// WeightedAverage integrates the step function over [t0, t1] and divides by
+// the interval, yielding the paper's "weighted average of the number of
+// machines used".
+func (u *UsageTrace) WeightedAverage(t0, t1 sim.Time) float64 {
+	if t1 <= t0 || len(u.points) == 0 {
+		return 0
+	}
+	// Find the count in effect at t0.
+	idx := sort.Search(len(u.points), func(i int) bool { return u.points[i].T > t0 })
+	cur := 0
+	if idx > 0 {
+		cur = u.points[idx-1].Count
+	}
+	area := 0.0
+	t := t0
+	for _, p := range u.points[idx:] {
+		if p.T >= t1 {
+			break
+		}
+		area += float64(cur) * (p.T - t)
+		t = p.T
+		cur = p.Count
+	}
+	area += float64(cur) * (t1 - t)
+	return area / (t1 - t0)
+}

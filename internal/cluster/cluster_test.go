@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPaperClusterComposition(t *testing.T) {
+	specs := PaperCluster()
+	if len(specs) != 32 {
+		t.Fatalf("cluster size = %d, want 32", len(specs))
+	}
+	counts := map[float64]int{}
+	for _, s := range specs {
+		counts[s.MHz]++
+	}
+	if counts[1200] != 24 || counts[1400] != 5 || counts[1466] != 3 {
+		t.Fatalf("clock mix = %v, want 24x1200 5x1400 3x1466", counts)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate host name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// The six hosts named in the paper's §6 output must be present.
+	for _, n := range []string{"bumpa", "diplice", "alboka", "altfluit", "arghul", "basfluit"} {
+		if !seen[n+".sen.cwi.nl"] {
+			t.Errorf("paper host %s missing", n)
+		}
+	}
+}
+
+func TestComputeScalesWithClock(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	slow := c.Machines[0]  // 1200 MHz
+	fast := c.Machines[31] // 1466 MHz
+	if slow.Spec.MHz != 1200 || fast.Spec.MHz != 1466 {
+		t.Fatalf("unexpected machine order: %g, %g", slow.Spec.MHz, fast.Spec.MHz)
+	}
+	var tSlow, tFast sim.Time
+	env.Spawn("a", func(p *sim.Proc) {
+		c.Compute(p, slow, 2400) // 2400 Mc / 1200 MHz = 2 s
+		tSlow = p.Now()
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		c.Compute(p, fast, 2932) // 2932 Mc / 1466 MHz = 2 s
+		tFast = p.Now()
+	})
+	env.Run()
+	if math.Abs(tSlow-2) > 1e-9 || math.Abs(tFast-2) > 1e-9 {
+		t.Fatalf("compute times = %g, %g; want 2, 2", tSlow, tFast)
+	}
+}
+
+func TestComputeQueuesOnOneCPU(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	m := c.Machines[0]
+	done := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("w", func(p *sim.Proc) {
+			c.Compute(p, m, 1200) // 1 s each
+			done[i] = p.Now()
+		})
+	}
+	env.Run()
+	if done[0] != 1 || done[1] != 2 {
+		t.Fatalf("done = %v, want [1 2] (serialized on one CPU)", done)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	var at sim.Time
+	env.Spawn("p", func(p *sim.Proc) {
+		// 1.25 MB at 100 Mbps = 0.1 s, plus 0.5 ms latency.
+		c.Transfer(p, c.Machines[0], c.Machines[1], 1.25e6)
+		at = p.Now()
+	})
+	env.Run()
+	want := 0.0005 + 0.1
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("transfer time = %g, want %g", at, want)
+	}
+}
+
+func TestLocalTransferIsFree(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	var at sim.Time
+	env.Spawn("p", func(p *sim.Proc) {
+		c.Transfer(p, c.Machines[0], c.Machines[0], 1e9)
+		at = p.Now()
+	})
+	env.Run()
+	if at != 0 {
+		t.Fatalf("local transfer took %g, want 0", at)
+	}
+}
+
+func TestOppositeTransfersDoNotDeadlock(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	a, b := c.Machines[0], c.Machines[1]
+	finished := 0
+	env.Spawn("ab", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			c.Transfer(p, a, b, 1e6)
+		}
+		finished++
+	})
+	env.Spawn("ba", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			c.Transfer(p, b, a, 1e6)
+		}
+		finished++
+	})
+	env.Run()
+	if finished != 2 {
+		t.Fatalf("finished = %d, want 2 (blocked: %v)", finished, env.Blocked())
+	}
+}
+
+func spawnerConfig(c *Cluster, perpetual bool) SpawnerConfig {
+	return SpawnerConfig{
+		Loci:      c.Machines[1:],
+		Perpetual: perpetual,
+		MaxLoad:   1,
+		ForkCost:  1.0,
+		ReuseCost: 0.05,
+	}
+}
+
+func TestPerpetualReuse(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, spawnerConfig(c, true))
+	env.Spawn("driver", func(p *sim.Proc) {
+		// Sequential lifecycle: each worker dies before the next arrives,
+		// so one task instance should be forked and then reused.
+		for i := 0; i < 5; i++ {
+			ti := s.Place(p, 1)
+			p.Hold(0.1)
+			s.Leave(ti, 1)
+		}
+		s.RetireAll()
+	})
+	env.Run()
+	if s.Forks() != 1 {
+		t.Errorf("forks = %d, want 1 (perpetual reuse)", s.Forks())
+	}
+	if s.Reuses() != 4 {
+		t.Errorf("reuses = %d, want 4", s.Reuses())
+	}
+	if peak := c.Trace().Peak(); peak != 1 {
+		t.Errorf("peak machines = %d, want 1", peak)
+	}
+}
+
+func TestNonPerpetualForksEachTime(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, spawnerConfig(c, false))
+	env.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			ti := s.Place(p, 1)
+			p.Hold(0.1)
+			s.Leave(ti, 1) // dies at load zero
+		}
+	})
+	env.Run()
+	if s.Forks() != 5 {
+		t.Errorf("forks = %d, want 5 (no reuse without perpetual)", s.Forks())
+	}
+}
+
+func TestConcurrentWorkersPeak(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, spawnerConfig(c, true))
+	env.Spawn("driver", func(p *sim.Proc) {
+		var tis []*TaskInstance
+		for i := 0; i < 8; i++ {
+			tis = append(tis, s.Place(p, 1))
+		}
+		p.Hold(10)
+		for _, ti := range tis {
+			s.Leave(ti, 1)
+		}
+		s.RetireAll()
+	})
+	env.Run()
+	if peak := c.Trace().Peak(); peak != 8 {
+		t.Errorf("peak = %d, want 8", peak)
+	}
+}
+
+func TestMaxLoadBundling(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	cfg := spawnerConfig(c, true)
+	cfg.MaxLoad = 6 // the paper's "{load 6}" parallel bundling
+	s := NewSpawner(c, cfg)
+	env.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			s.Place(p, 1)
+		}
+	})
+	env.Run()
+	if s.Forks() != 1 {
+		t.Errorf("forks = %d, want 1 (all six processes share one task instance)", s.Forks())
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	u := UsageTrace{}
+	u.record(0, 1)
+	u.record(10, 3)
+	u.record(20, 0)
+	// [0,10): 1, [10,20): 3, [20,30): 0 -> average over [0,30] = 40/30.
+	got := u.WeightedAverage(0, 30)
+	want := 40.0 / 30.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted average = %g, want %g", got, want)
+	}
+	// Sub-interval starting mid-step.
+	got = u.WeightedAverage(5, 15)
+	want = (5*1 + 5*3) / 10.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted average [5,15] = %g, want %g", got, want)
+	}
+}
+
+func TestAdoptCountsInTrace(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, spawnerConfig(c, true))
+	env.Spawn("driver", func(p *sim.Proc) {
+		master := s.Adopt(c.Machines[0], 1)
+		p.Hold(5)
+		s.Retire(master)
+	})
+	env.Run()
+	if peak := c.Trace().Peak(); peak != 1 {
+		t.Fatalf("peak = %d, want 1", peak)
+	}
+	if avg := c.Trace().WeightedAverage(0, 5); math.Abs(avg-1) > 1e-12 {
+		t.Fatalf("avg = %g, want 1", avg)
+	}
+}
+
+// Property: the weighted average of a usage trace is bounded by its peak
+// and is non-negative.
+func TestPropWeightedAverageBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		u := UsageTrace{}
+		t0 := 0.0
+		for i, r := range raw {
+			if i > 30 {
+				break
+			}
+			u.record(t0, int(r%16))
+			t0 += 1 + float64(r%7)
+		}
+		if t0 == 0 {
+			return true
+		}
+		avg := u.WeightedAverage(0, t0)
+		return avg >= 0 && avg <= float64(u.Peak())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: placing then leaving n workers with perpetual reuse never uses
+// more task instances than the maximum number simultaneously alive.
+func TestPropForksBoundedByConcurrency(t *testing.T) {
+	f := func(nRaw, holdRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		hold := float64(holdRaw%10) / 2
+		env := sim.NewEnv()
+		c := NewPaper(env)
+		s := NewSpawner(c, spawnerConfig(c, true))
+		env.Spawn("driver", func(p *sim.Proc) {
+			var tis []*TaskInstance
+			for i := 0; i < n; i++ {
+				ti := s.Place(p, 1)
+				tis = append(tis, ti)
+				env.Spawn("w", func(wp *sim.Proc) {
+					wp.Hold(hold)
+					s.Leave(ti, 1)
+				})
+			}
+			_ = tis
+		})
+		env.Run()
+		return s.Forks() <= c.Trace().Peak() && s.Forks() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package core implements the paper's primary contribution: the generic,
+// reusable master/worker coordination protocol (the MANIFOLD manners
+// ProtocolMW and Create_Worker_Pool of §4.2) on top of the IWIM runtime in
+// internal/manifold.
+//
+// The protocol is generic in exactly the paper's sense: the master and the
+// worker are parameters, and the coordinator knows nothing about the
+// computation they perform. It only prescribes their input/output and
+// event behaviour (§4.3):
+//
+//	master: raise create_pool; per worker {raise create_worker, read
+//	        &worker from own input port and activate it, write the
+//	        worker's job to own output port}; read results from own
+//	        dataport; raise rendezvous and wait for a_rendezvous;
+//	        repeat pools as needed; raise finished.
+//	worker: read job from own input port; compute; write results to own
+//	        output port; raise death_worker.
+//
+// The coordinator reacts to the master's events, creates workers, wires
+// the streams (&worker -> master, master -> worker as Break-Keep, worker ->
+// master.dataport as Keep-Keep so results survive state preemption) and
+// organizes the rendezvous by counting death_worker events.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/manifold"
+)
+
+// Event names of the master/worker protocol, as in the paper's MANIFOLD
+// source.
+const (
+	EvCreatePool   = "create_pool"
+	EvCreateWorker = "create_worker"
+	EvRendezvous   = "rendezvous"
+	EvARendezvous  = "a_rendezvous"
+	EvFinished     = "finished"
+	EvDeathWorker  = "death_worker"
+)
+
+// Master is the handle through which a master computation speaks the
+// protocol. It wraps the master's manifold process; every method
+// corresponds to a step of the behaviour interface in §4.3.
+type Master struct {
+	p *manifold.Process
+}
+
+// Process returns the underlying manifold process.
+func (m *Master) Process() *manifold.Process { return m.p }
+
+// CreatePool requests the coordinator to create an empty pool of workers
+// (step 3a).
+func (m *Master) CreatePool() { m.p.Raise(EvCreatePool) }
+
+// CreateWorker requests a new worker in the pool (step 3b), reads the
+// worker's process reference from the master's own input port (step 3c),
+// activates it and returns it. Call Send immediately afterwards to charge
+// the worker with its job.
+func (m *Master) CreateWorker() *manifold.Process {
+	m.p.Raise(EvCreateWorker)
+	ref := m.p.Input().MustRead().(*manifold.Process)
+	ref.Activate()
+	return ref
+}
+
+// Send writes the information the most recently created worker needs to do
+// its job on the master's own output port (step 3d); the coordinator has
+// connected that port to the worker's input port.
+func (m *Master) Send(u manifold.Unit) { m.p.Output().Write(u) }
+
+// ReadResult collects one computational result from the master's dataport
+// (step 3f). Results arrive in completion order, not creation order.
+func (m *Master) ReadResult() manifold.Unit { return m.p.Port("dataport").MustRead() }
+
+// Rendezvous asks the coordinator to organize a rendezvous — a
+// synchronization point at which every worker of the pool has died — and
+// naps until the coordinator acknowledges it with a_rendezvous (steps
+// 3g-3h).
+func (m *Master) Rendezvous() {
+	m.p.Raise(EvRendezvous)
+	m.p.Wait(manifold.On(EvARendezvous))
+}
+
+// Finished tells the coordinator that the master needs no more workers
+// (step 4); the coordinator halts while the master may go on with its
+// final sequential computation (step 5).
+func (m *Master) Finished() { m.p.Raise(EvFinished) }
+
+// Worker is the handle through which a worker computation speaks the
+// protocol.
+type Worker struct {
+	p *manifold.Process
+}
+
+// Process returns the underlying manifold process.
+func (w *Worker) Process() *manifold.Process { return w.p }
+
+// Read obtains the job information from the worker's own input port
+// (worker step 1).
+func (w *Worker) Read() manifold.Unit { return w.p.Input().MustRead() }
+
+// Write delivers computed results through the worker's own output port
+// (worker step 3); the coordinator's KK stream carries them to the
+// master's dataport.
+func (w *Worker) Write(u manifold.Unit) { w.p.Output().Write(u) }
+
+// MasterFunc is the master computation: everything the legacy main program
+// does except the work delegated to workers.
+type MasterFunc func(*Master)
+
+// WorkerFunc is the worker computation (the paper's subsolve wrapper).
+type WorkerFunc func(*Worker)
+
+// WorkerFailure is delivered to the master's dataport when a worker body
+// panics, so the master is never left waiting on a dead worker.
+type WorkerFailure struct {
+	Worker string
+	Reason any
+}
+
+func (f WorkerFailure) Error() string {
+	return fmt.Sprintf("core: worker %s failed: %v", f.Worker, f.Reason)
+}
+
+// Run executes one application under the master/worker protocol: it
+// creates the master process and the coordinator (the paper's Main
+// manifold calling ProtocolMW), activates them and blocks until every
+// process has terminated.
+func Run(masterFn MasterFunc, workerFn WorkerFunc) {
+	env := manifold.NewEnv()
+	master := env.NewProcess("Master", func(p *manifold.Process) {
+		masterFn(&Master{p: p})
+	}, "dataport")
+	master.Observe(EvARendezvous)
+
+	coord := env.NewProcess("Main", func(p *manifold.Process) {
+		protocolMW(p, master, workerFn)
+	})
+	coord.Observe(EvCreatePool, EvCreateWorker, EvRendezvous, EvFinished, EvDeathWorker)
+
+	coord.Activate()
+	master.Activate()
+	master.Terminated()
+	coord.Terminated()
+	env.Wait()
+}
+
+// protocolMW is the paper's ProtocolMW manner: in its begin state it waits
+// for events raised by the (already active) master; create_pool calls the
+// Create_Worker_Pool manner, finished halts.
+func protocolMW(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc) {
+	for {
+		occ := coord.Wait(
+			manifold.From(EvCreatePool, master),
+			manifold.From(EvFinished, master),
+		)
+		switch occ.Event {
+		case EvCreatePool:
+			createWorkerPool(coord, master, workerFn)
+			// post(begin): fall through to waiting again.
+		case EvFinished:
+			return // halt
+		}
+	}
+}
+
+// workerSeq numbers workers across pools for readable process names.
+// Access is confined to the coordinator goroutine of one Run; a global
+// would race across concurrent Runs, so it lives in the pool call.
+func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc) {
+	now := 0 // Number Of Workers created (the paper's `now` variable)
+	t := 0   // dead workers counted (the paper's `t` variable)
+	var scope manifold.Scope
+	env := coord.Env()
+
+	for {
+		// priority create_worker > rendezvous (the paper line 23).
+		occ := coord.Wait(
+			manifold.From(EvCreateWorker, master),
+			manifold.From(EvRendezvous, master),
+		)
+		switch occ.Event {
+		case EvCreateWorker:
+			// Leaving the previous create_worker state dismantles its
+			// streams: BK streams break at the source, the KK results
+			// stream stays intact.
+			scope.Dismantle()
+
+			name := fmt.Sprintf("Worker-%d", now+1)
+			w := env.NewProcess(name, func(p *manifold.Process) {
+				defer func() {
+					if r := recover(); r != nil {
+						// Deliver the failure where the master is
+						// listening, then die normally so the rendezvous
+						// count stays correct.
+						p.Output().Write(WorkerFailure{Worker: p.Name(), Reason: r})
+					}
+					p.Raise(EvDeathWorker)
+				}()
+				workerFn(&Worker{p: p})
+			})
+
+			// The stream configuration of the paper's line 36:
+			//   &worker -> master -> worker -> master.dataport
+			// with the last stream declared KK.
+			scope.Connect(coord.Output(), master.Input(), manifold.BK)
+			scope.Connect(master.Output(), w.Input(), manifold.BK)
+			scope.Connect(w.Output(), master.Port("dataport"), manifold.KK)
+			coord.Output().Write(w) // send &worker; the master activates it
+			now++
+
+		case EvRendezvous:
+			for t < now {
+				coord.Wait(manifold.On(EvDeathWorker))
+				t++
+			}
+			scope.Dismantle()
+			coord.Raise(EvARendezvous)
+			return // the manner returns to ProtocolMW
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEchoPool drives one pool of n workers, each doubling one integer.
+func TestEchoPool(t *testing.T) {
+	const n = 8
+	var got []int
+	Run(func(m *Master) {
+		m.CreatePool()
+		for i := 0; i < n; i++ {
+			m.CreateWorker()
+			m.Send(i)
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, m.ReadResult().(int))
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		v := w.Read().(int)
+		w.Write(2 * v)
+	})
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("sorted results %v, want doubles of 0..%d", got, n-1)
+		}
+	}
+}
+
+func TestSingleWorkerPool(t *testing.T) {
+	var result any
+	Run(func(m *Master) {
+		m.CreatePool()
+		m.CreateWorker()
+		m.Send("ping")
+		result = m.ReadResult()
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Write(w.Read().(string) + "-pong")
+	})
+	if result != "ping-pong" {
+		t.Fatalf("result = %v", result)
+	}
+}
+
+func TestEmptyPoolRendezvous(t *testing.T) {
+	// A pool with zero workers must rendezvous immediately (t == now == 0).
+	done := false
+	Run(func(m *Master) {
+		m.CreatePool()
+		m.Rendezvous()
+		done = true
+		m.Finished()
+	}, func(w *Worker) { t.Error("worker created for empty pool") })
+	if !done {
+		t.Fatal("master never passed the rendezvous")
+	}
+}
+
+func TestMultiplePools(t *testing.T) {
+	// The paper (§4.2, closing remark): a more demanding master may raise
+	// create_pool again after a rendezvous; the coordinator must serve a
+	// second pool.
+	var sums []int
+	Run(func(m *Master) {
+		for pool := 0; pool < 3; pool++ {
+			m.CreatePool()
+			for i := 0; i < 4; i++ {
+				m.CreateWorker()
+				m.Send(pool*10 + i)
+			}
+			sum := 0
+			for i := 0; i < 4; i++ {
+				sum += m.ReadResult().(int)
+			}
+			m.Rendezvous()
+			sums = append(sums, sum)
+		}
+		m.Finished()
+	}, func(w *Worker) {
+		w.Write(w.Read().(int))
+	})
+	want := []int{0 + 1 + 2 + 3, 40 + 1 + 2 + 3, 80 + 1 + 2 + 3}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("pool %d sum = %d, want %d (all: %v)", i, sums[i], want[i], sums)
+		}
+	}
+}
+
+func TestMasterFinalSequentialWork(t *testing.T) {
+	// Step 5: the master keeps computing after finished; the coordinator
+	// has already halted.
+	final := 0
+	Run(func(m *Master) {
+		m.CreatePool()
+		m.CreateWorker()
+		m.Send(21)
+		r := m.ReadResult().(int)
+		m.Rendezvous()
+		m.Finished()
+		final = r * 2 // prolongation stand-in
+	}, func(w *Worker) {
+		w.Write(w.Read().(int))
+	})
+	if final != 42 {
+		t.Fatalf("final = %d, want 42", final)
+	}
+}
+
+func TestWorkerPanicDeliversFailure(t *testing.T) {
+	// A panicking worker must still die (rendezvous completes) and the
+	// master must receive a WorkerFailure instead of hanging.
+	var failure error
+	Run(func(m *Master) {
+		m.CreatePool()
+		m.CreateWorker()
+		m.Send("boom")
+		if f, ok := m.ReadResult().(WorkerFailure); ok {
+			failure = f
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Read()
+		panic("job exploded")
+	})
+	if failure == nil {
+		t.Fatal("no WorkerFailure delivered")
+	}
+	if got := failure.Error(); got == "" {
+		t.Fatal("empty failure message")
+	}
+}
+
+func TestWorkersRunConcurrently(t *testing.T) {
+	// All workers of a pool must be alive simultaneously when their work
+	// overlaps: each worker waits until every other worker has started,
+	// which can only succeed if they truly run in parallel.
+	const n = 6
+	var started atomic.Int32
+	Run(func(m *Master) {
+		m.CreatePool()
+		for i := 0; i < n; i++ {
+			m.CreateWorker()
+			m.Send(i)
+		}
+		for i := 0; i < n; i++ {
+			m.ReadResult()
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Read()
+		started.Add(1)
+		for started.Load() < n {
+			// Spin until all workers have started; a sequential execution
+			// would deadlock here, so reaching Write proves concurrency.
+		}
+		w.Write(true)
+	})
+	if started.Load() != n {
+		t.Fatalf("started = %d, want %d", started.Load(), n)
+	}
+}
+
+func TestResultsArriveInCompletionOrder(t *testing.T) {
+	// Workers finishing early deliver early regardless of creation order;
+	// the KK stream keeps every results path open.
+	const n = 5
+	var order []int
+	Run(func(m *Master) {
+		m.CreatePool()
+		for i := 0; i < n; i++ {
+			m.CreateWorker()
+			m.Send(i)
+		}
+		for i := 0; i < n; i++ {
+			order = append(order, m.ReadResult().(int))
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Write(w.Read().(int))
+	})
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate result %d in %v", v, order)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %v, want %d distinct results", order, n)
+	}
+}
+
+func TestLargePool(t *testing.T) {
+	// The paper runs pools of up to 31 workers; exercise 64.
+	const n = 64
+	total := 0
+	Run(func(m *Master) {
+		m.CreatePool()
+		for i := 0; i < n; i++ {
+			m.CreateWorker()
+			m.Send(1)
+		}
+		for i := 0; i < n; i++ {
+			total += m.ReadResult().(int)
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Write(w.Read().(int))
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+}
+
+func TestGenericReuseDifferentWorker(t *testing.T) {
+	// The protocol is generic: the same Run coordinates an entirely
+	// different worker computation without modification.
+	var words []string
+	Run(func(m *Master) {
+		m.CreatePool()
+		for _, s := range []string{"cut", "paste"} {
+			m.CreateWorker()
+			m.Send(s)
+		}
+		for i := 0; i < 2; i++ {
+			words = append(words, m.ReadResult().(string))
+		}
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *Worker) {
+		w.Write(fmt.Sprintf("<%s>", w.Read().(string)))
+	})
+	sort.Strings(words)
+	if words[0] != "<cut>" || words[1] != "<paste>" {
+		t.Fatalf("words = %v", words)
+	}
+}

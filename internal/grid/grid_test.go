@@ -1,0 +1,227 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridDimensions(t *testing.T) {
+	g := Grid{Root: 2, L1: 1, L2: 3}
+	if g.NX() != 8 || g.NY() != 32 {
+		t.Fatalf("NX,NY = %d,%d; want 8,32", g.NX(), g.NY())
+	}
+	if g.Hx() != 0.125 {
+		t.Errorf("Hx = %g, want 0.125", g.Hx())
+	}
+	if g.Points() != 9*33 {
+		t.Errorf("Points = %d, want %d", g.Points(), 9*33)
+	}
+	if g.Interior() != 7*31 {
+		t.Errorf("Interior = %d, want %d", g.Interior(), 7*31)
+	}
+	if g.Level() != 4 {
+		t.Errorf("Level = %d, want 4", g.Level())
+	}
+}
+
+func TestFamilySizeMatchesPaper(t *testing.T) {
+	// The paper: w = 2l + 1 workers for additional refinement level l.
+	for level := 0; level <= 15; level++ {
+		fam := Family(2, level)
+		want := 2*level + 1
+		if level == 0 {
+			want = 1
+		}
+		if len(fam) != want {
+			t.Fatalf("level %d: family size %d, want %d", level, len(fam), want)
+		}
+	}
+}
+
+func TestFamilyLevels(t *testing.T) {
+	fam := Family(2, 3)
+	counts := map[int]int{}
+	for _, g := range fam {
+		counts[g.Level()]++
+		if g.Root != 2 {
+			t.Fatalf("grid %v has wrong root", g)
+		}
+	}
+	if counts[2] != 3 || counts[3] != 4 {
+		t.Fatalf("family level counts = %v, want 3 at level 2, 4 at level 3", counts)
+	}
+}
+
+func TestCombineCoefficient(t *testing.T) {
+	if c := CombineCoefficient(Grid{Root: 2, L1: 1, L2: 2}, 3); c != 1 {
+		t.Errorf("coefficient = %g, want 1", c)
+	}
+	if c := CombineCoefficient(Grid{Root: 2, L1: 1, L2: 1}, 3); c != -1 {
+		t.Errorf("coefficient = %g, want -1", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-family grid")
+		}
+	}()
+	CombineCoefficient(Grid{Root: 2, L1: 0, L2: 0}, 3)
+}
+
+func TestFieldFillAndAt(t *testing.T) {
+	g := Grid{Root: 1, L1: 1, L2: 0}
+	f := NewField(g)
+	f.Fill(func(x, y float64) float64 { return x + 10*y })
+	if v := f.At(2, 1); math.Abs(v-(0.5+5)) > 1e-15 {
+		t.Fatalf("At(2,1) = %g, want 5.5", v)
+	}
+}
+
+func TestEvalReproducesGridPoints(t *testing.T) {
+	g := Grid{Root: 2, L1: 1, L2: 1}
+	f := NewField(g)
+	f.Fill(func(x, y float64) float64 { return math.Sin(3*x) * math.Cos(2*y) })
+	for iy := 0; iy <= g.NY(); iy++ {
+		for ix := 0; ix <= g.NX(); ix++ {
+			got := f.Eval(g.X(ix), g.Y(iy))
+			want := f.At(ix, iy)
+			if math.Abs(got-want) > 1e-14 {
+				t.Fatalf("Eval at grid point (%d,%d) = %g, want %g", ix, iy, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalExactForBilinear(t *testing.T) {
+	g := Grid{Root: 2, L1: 0, L2: 2}
+	f := NewField(g)
+	bilin := func(x, y float64) float64 { return 2 + 3*x - y + 0.5*x*y }
+	f.Fill(bilin)
+	for _, pt := range [][2]float64{{0.3, 0.7}, {0.01, 0.99}, {1, 1}, {0, 0}, {0.5, 0.123}} {
+		got := f.Eval(pt[0], pt[1])
+		want := bilin(pt[0], pt[1])
+		if math.Abs(got-want) > 1e-13 {
+			t.Fatalf("Eval(%v) = %g, want %g", pt, got, want)
+		}
+	}
+}
+
+func TestProlongateNestedExact(t *testing.T) {
+	// Prolongating to a finer grid then sampling the original points must
+	// reproduce the original values exactly (dyadic nesting).
+	coarse := Grid{Root: 1, L1: 1, L2: 1}
+	fine := Grid{Root: 1, L1: 2, L2: 3}
+	f := NewField(coarse)
+	f.Fill(func(x, y float64) float64 { return math.Exp(x) + y*y })
+	p := f.Prolongate(fine)
+	for iy := 0; iy <= coarse.NY(); iy++ {
+		for ix := 0; ix <= coarse.NX(); ix++ {
+			x, y := coarse.X(ix), coarse.Y(iy)
+			got := p.Eval(x, y)
+			want := f.At(ix, iy)
+			if math.Abs(got-want) > 1e-13 {
+				t.Fatalf("prolongated value at (%g,%g) = %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCombineReproducesBilinear(t *testing.T) {
+	// The combination of exact bilinear samples is the bilinear function:
+	// (level+1) copies - level copies = 1 copy.
+	root, level := 1, 3
+	bilin := func(x, y float64) float64 { return 1 - 2*x + 4*y + 3*x*y }
+	var fields []*Field
+	for _, g := range Family(root, level) {
+		f := NewField(g)
+		f.Fill(bilin)
+		fields = append(fields, f)
+	}
+	target := Grid{Root: root, L1: level, L2: level}
+	u := Combine(fields, level, target)
+	want := NewField(target)
+	want.Fill(bilin)
+	if d := u.MaxDiff(want); d > 1e-12 {
+		t.Fatalf("combination error %g for bilinear function, want ~0", d)
+	}
+}
+
+func TestCombineConvergesForSmooth(t *testing.T) {
+	// For a smooth non-bilinear function the combination error on a fixed
+	// evaluation grid must decrease with level (the essence of the
+	// sparse-grid combination technique).
+	root := 1
+	fn := func(x, y float64) float64 { return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) }
+	target := Grid{Root: 1, L1: 3, L2: 3}
+	want := NewField(target)
+	want.Fill(fn)
+	var prev float64 = math.Inf(1)
+	for _, level := range []int{1, 3, 5} {
+		var fields []*Field
+		for _, g := range Family(root, level) {
+			f := NewField(g)
+			f.Fill(fn)
+			fields = append(fields, f)
+		}
+		u := Combine(fields, level, target)
+		err := u.MaxDiff(want)
+		if err > prev*1.01 {
+			t.Fatalf("combination error grew: level %d error %g, previous %g", level, err, prev)
+		}
+		prev = err
+	}
+	if prev > 1e-3 {
+		t.Fatalf("final combination error %g too large", prev)
+	}
+}
+
+func TestMaxDiffPanicsAcrossGrids(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewField(Grid{Root: 1}).MaxDiff(NewField(Grid{Root: 2}))
+}
+
+// Property: Eval stays within the min/max of the four surrounding corner
+// values (bilinear interpolation is convex).
+func TestPropEvalWithinBounds(t *testing.T) {
+	g := Grid{Root: 2, L1: 1, L2: 1}
+	f := NewField(g)
+	f.Fill(func(x, y float64) float64 { return math.Sin(13*x + 7*y) })
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range f.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	check := func(xr, yr uint16) bool {
+		x := float64(xr) / 65535
+		y := float64(yr) / 65535
+		v := f.Eval(x, y)
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prolongation to the same grid is the identity.
+func TestPropProlongateIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Grid{Root: 1, L1: int(seed % 3), L2: int((seed / 3) % 3)}
+		if g.L1 < 0 {
+			g.L1 = -g.L1
+		}
+		if g.L2 < 0 {
+			g.L2 = -g.L2
+		}
+		fld := NewField(g)
+		fld.Fill(func(x, y float64) float64 { return math.Sin(float64(seed%7)*x + y) })
+		p := fld.Prolongate(g)
+		return fld.MaxDiff(p) < 1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

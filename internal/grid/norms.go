@@ -1,0 +1,70 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Restrict samples a field onto a coarser (or equal) nested grid by
+// injection: because grids are dyadic, every point of the target grid
+// coincides with a point of the source grid. It panics if the target is
+// finer in either direction or has a different root.
+func (f *Field) Restrict(target Grid) *Field {
+	src := f.G
+	if target.Root != src.Root {
+		panic(fmt.Sprintf("grid: restrict across roots %d -> %d", src.Root, target.Root))
+	}
+	if target.L1 > src.L1 || target.L2 > src.L2 {
+		panic(fmt.Sprintf("grid: restrict to finer grid %v -> %v", src, target))
+	}
+	sx := 1 << uint(src.L1-target.L1)
+	sy := 1 << uint(src.L2-target.L2)
+	out := NewField(target)
+	nx, ny := target.NX(), target.NY()
+	for iy := 0; iy <= ny; iy++ {
+		for ix := 0; ix <= nx; ix++ {
+			out.Set(ix, iy, f.At(ix*sx, iy*sy))
+		}
+	}
+	return out
+}
+
+// L2Norm returns the grid-weighted discrete L2 norm
+// sqrt(hx*hy * sum f_ij^2) — an approximation of the continuous L2 norm.
+func (f *Field) L2Norm() float64 {
+	s := 0.0
+	for _, v := range f.V {
+		s += v * v
+	}
+	return math.Sqrt(f.G.Hx() * f.G.Hy() * s)
+}
+
+// L2Diff returns the discrete L2 norm of (f - g) on the common grid.
+func (f *Field) L2Diff(g *Field) float64 {
+	if f.G != g.G {
+		panic("grid: L2Diff across different grids")
+	}
+	s := 0.0
+	for i := range f.V {
+		d := f.V[i] - g.V[i]
+		s += d * d
+	}
+	return math.Sqrt(f.G.Hx() * f.G.Hy() * s)
+}
+
+// Mean returns the average of all grid-point values.
+func (f *Field) Mean() float64 {
+	s := 0.0
+	for _, v := range f.V {
+		s += v
+	}
+	return s / float64(len(f.V))
+}
+
+// AddScaled adds a*g to f in place (same grid).
+func (f *Field) AddScaled(a float64, g *Field) {
+	if f.G != g.G {
+		panic("grid: AddScaled across different grids")
+	}
+	f.V.AXPY(a, g.V, nil)
+}

@@ -1,0 +1,143 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRestrictInjection(t *testing.T) {
+	fine := Grid{Root: 1, L1: 3, L2: 2}
+	coarse := Grid{Root: 1, L1: 1, L2: 1}
+	f := NewField(fine)
+	fn := func(x, y float64) float64 { return math.Sin(2*x) + y }
+	f.Fill(fn)
+	r := f.Restrict(coarse)
+	for iy := 0; iy <= coarse.NY(); iy++ {
+		for ix := 0; ix <= coarse.NX(); ix++ {
+			want := fn(coarse.X(ix), coarse.Y(iy))
+			if math.Abs(r.At(ix, iy)-want) > 1e-14 {
+				t.Fatalf("restricted(%d,%d) = %g, want %g", ix, iy, r.At(ix, iy), want)
+			}
+		}
+	}
+}
+
+func TestRestrictSameGridIsIdentity(t *testing.T) {
+	g := Grid{Root: 2, L1: 1, L2: 1}
+	f := NewField(g)
+	f.Fill(func(x, y float64) float64 { return x*x - y })
+	r := f.Restrict(g)
+	if d := f.MaxDiff(r); d != 0 {
+		t.Fatalf("identity restriction changed field by %g", d)
+	}
+}
+
+func TestRestrictToFinerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewField(Grid{Root: 1, L1: 1, L2: 1}).Restrict(Grid{Root: 1, L1: 2, L2: 1})
+}
+
+func TestRestrictAcrossRootsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewField(Grid{Root: 2, L1: 1, L2: 1}).Restrict(Grid{Root: 1, L1: 1, L2: 1})
+}
+
+// Property: prolongate then restrict is the identity on the original grid.
+func TestPropProlongateRestrictRoundTrip(t *testing.T) {
+	f := func(l1, l2, d1, d2 uint8) bool {
+		src := Grid{Root: 1, L1: int(l1 % 3), L2: int(l2 % 3)}
+		dst := Grid{Root: 1, L1: src.L1 + int(d1%3), L2: src.L2 + int(d2%3)}
+		fld := NewField(src)
+		fld.Fill(func(x, y float64) float64 { return math.Cos(3*x) * (1 + y) })
+		back := fld.Prolongate(dst).Restrict(src)
+		return fld.MaxDiff(back) < 1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2NormOfConstant(t *testing.T) {
+	g := Grid{Root: 3, L1: 0, L2: 0}
+	f := NewField(g)
+	f.Fill(func(x, y float64) float64 { return 2 })
+	// hx*hy*sum(4) = (1/8)(1/8)*81*4 -> sqrt = 2*sqrt(81/64) = 2*9/8.
+	want := 2.0 * 9 / 8
+	if got := f.L2Norm(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L2 = %g, want %g", got, want)
+	}
+}
+
+func TestL2NormApproximatesContinuous(t *testing.T) {
+	// ||sin(pi x) sin(pi y)||_L2 = 1/2 on the unit square. For this
+	// function the equispaced quadrature is exact (sum of sin^2 over a
+	// uniform grid is exactly n/2), so every level agrees to roundoff.
+	for _, l := range []int{1, 3, 5} {
+		g := Grid{Root: 1, L1: l, L2: l}
+		f := NewField(g)
+		f.Fill(func(x, y float64) float64 { return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) })
+		if err := math.Abs(f.L2Norm() - 0.5); err > 1e-12 {
+			t.Fatalf("level %d: L2 error %g", l, err)
+		}
+	}
+	// For a function where the quadrature is not exact, the error must
+	// shrink with refinement.
+	var prev = math.Inf(1)
+	exact := math.Sqrt((math.E*math.E - 1) / 2) // ||e^x||_L2 on [0,1]^2
+	for _, l := range []int{0, 2, 4} {
+		g := Grid{Root: 1, L1: l, L2: l}
+		f := NewField(g)
+		f.Fill(func(x, y float64) float64 { return math.Exp(x) })
+		err := math.Abs(f.L2Norm() - exact)
+		if err > prev {
+			t.Fatalf("L2 error grew: %g -> %g at level %d", prev, err, l)
+		}
+		prev = err
+	}
+	// Point-sum quadrature carries an O(h) boundary bias; at n=32 the
+	// remaining error is ~0.06.
+	if prev > 0.1 {
+		t.Fatalf("final L2 error %g", prev)
+	}
+}
+
+func TestL2DiffAndMean(t *testing.T) {
+	g := Grid{Root: 2, L1: 0, L2: 0}
+	a := NewField(g)
+	b := NewField(g)
+	a.Fill(func(x, y float64) float64 { return 1 })
+	b.Fill(func(x, y float64) float64 { return 3 })
+	if d := a.L2Diff(b); math.Abs(d-2*math.Sqrt(25.0/16)) > 1e-12 {
+		t.Fatalf("L2Diff = %g", d)
+	}
+	if m := a.Mean(); m != 1 {
+		t.Fatalf("Mean = %g", m)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	g := Grid{Root: 2, L1: 0, L2: 0}
+	a := NewField(g)
+	b := NewField(g)
+	a.Fill(func(x, y float64) float64 { return 1 })
+	b.Fill(func(x, y float64) float64 { return 2 })
+	a.AddScaled(0.5, b)
+	if a.At(1, 1) != 2 {
+		t.Fatalf("AddScaled result %g, want 2", a.At(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic across grids")
+		}
+	}()
+	a.AddScaled(1, NewField(Grid{Root: 2, L1: 1, L2: 0}))
+}

@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// Builder assembles a sparse matrix by accumulating (row, col, value)
+// entries; duplicate coordinates are summed. Finish with Build.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	r, c int
+	v    float64
+}
+
+// NewBuilder creates a builder for an rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (r, c).
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("linalg: entry (%d,%d) outside %dx%d", r, c, b.rows, b.cols))
+	}
+	b.entries = append(b.entries, entry{r, c, v})
+}
+
+// Build sorts, merges and converts the accumulated entries to CSR.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].r != b.entries[j].r {
+			return b.entries[i].r < b.entries[j].r
+		}
+		return b.entries[i].c < b.entries[j].c
+	})
+	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	for i := 0; i < len(b.entries); {
+		e := b.entries[i]
+		v := e.v
+		j := i + 1
+		for j < len(b.entries) && b.entries[j].r == e.r && b.entries[j].c == e.c {
+			v += b.entries[j].v
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, e.c)
+		m.Val = append(m.Val, v)
+		m.RowPtr[e.r+1] = len(m.Val)
+		i = j
+	}
+	for r := 1; r <= b.rows; r++ {
+		if m.RowPtr[r] == 0 {
+			m.RowPtr[r] = m.RowPtr[r-1]
+		}
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A*x.
+func (m *CSR) MulVec(y, x Vector, ops *Ops) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: mulvec dims %dx%d with x[%d], y[%d]", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = s
+	}
+	ops.Add(2 * int64(m.NNZ()))
+}
+
+// Diagonal extracts the main diagonal into d (missing entries are zero).
+func (m *CSR) Diagonal(d Vector) {
+	for r := 0; r < m.Rows; r++ {
+		d[r] = 0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k] == r {
+				d[r] = m.Val[k]
+				break
+			}
+		}
+	}
+}
+
+// At returns the (r, c) entry (zero if not stored). Intended for tests;
+// O(row nnz).
+func (m *CSR) At(r, c int) float64 {
+	for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+		if m.ColIdx[k] == c {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// ShiftedScaled returns I - s*A for a square A: the Rosenbrock system
+// matrix with s = gamma*tau.
+func (m *CSR) ShiftedScaled(s float64) *CSR {
+	if m.Rows != m.Cols {
+		panic("linalg: ShiftedScaled needs a square matrix")
+	}
+	b := NewBuilder(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		hasDiag := false
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			v := -s * m.Val[k]
+			if c == r {
+				v += 1
+				hasDiag = true
+			}
+			b.Add(r, c, v)
+		}
+		if !hasDiag {
+			b.Add(r, r, 1)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRES solves A x = b with restarted GMRES(m), Jacobi preconditioned (on
+// the right), to relative residual tol. x is the initial guess and is
+// overwritten. restart <= 0 picks 30; maxIter <= 0 picks 4*n total
+// iterations. GMRES is the classic alternative to BiCGStab for the
+// nonsymmetric advection-diffusion systems of the Rosenbrock stages: it
+// never breaks down and its residual is monotone, at the price of storing
+// the Krylov basis.
+func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (SolveStats, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: GMRES dims %dx%d, x[%d], b[%d]", a.Rows, a.Cols, len(x), len(b)))
+	}
+	if restart <= 0 {
+		restart = 30
+	}
+	if restart > n {
+		restart = n
+	}
+	if maxIter <= 0 {
+		maxIter = 4 * n
+		if maxIter < 100 {
+			maxIter = 100
+		}
+	}
+	invD := NewVector(n)
+	a.Diagonal(invD)
+	for i, d := range invD {
+		if d == 0 {
+			invD[i] = 1
+		} else {
+			invD[i] = 1 / d
+		}
+	}
+	ops.Add(int64(n))
+
+	bNorm := b.Norm2(ops)
+	if bNorm == 0 {
+		x.Fill(0)
+		return SolveStats{}, nil
+	}
+
+	m := restart
+	// Krylov basis and Hessenberg in column-major slices.
+	v := make([]Vector, m+1)
+	for i := range v {
+		v[i] = NewVector(n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := NewVector(n)
+	z := NewVector(n)
+
+	total := 0
+	for total < maxIter {
+		// r0 = b - A x.
+		a.MulVec(w, x, ops)
+		v[0].Sub(b, w, ops)
+		beta := v[0].Norm2(ops)
+		if beta/bNorm <= tol {
+			return SolveStats{Iterations: total, Residual: beta / bNorm}, nil
+		}
+		inv := 1 / beta
+		for i := range v[0] {
+			v[0][i] *= inv
+		}
+		ops.Add(int64(n))
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && total < maxIter; k++ {
+			total++
+			// w = A M^-1 v_k (right preconditioning).
+			for i := range z {
+				z[i] = invD[i] * v[k][i]
+			}
+			ops.Add(int64(n))
+			a.MulVec(w, z, ops)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = w.Dot(v[i], ops)
+				w.AXPY(-h[i][k], v[i], ops)
+			}
+			h[k+1][k] = w.Norm2(ops)
+			if h[k+1][k] > 1e-300 {
+				inv := 1 / h[k+1][k]
+				for i := range w {
+					v[k+1][i] = w[i] * inv
+				}
+				ops.Add(int64(n))
+			} else {
+				v[k+1].Fill(0) // happy breakdown: exact solution in span
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / denom
+				sn[k] = h[k+1][k] / denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			ops.Add(int64(8 * k))
+			if math.Abs(g[k+1])/bNorm <= tol {
+				k++
+				break
+			}
+		}
+		// Solve the k x k triangular system h y = g.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return SolveStats{Iterations: total}, ErrBreakdown
+			}
+			y[i] = s / h[i][i]
+		}
+		// x += M^-1 (V y).
+		z.Fill(0)
+		for j := 0; j < k; j++ {
+			z.AXPY(y[j], v[j], ops)
+		}
+		for i := range x {
+			x[i] += invD[i] * z[i]
+		}
+		ops.Add(2 * int64(n))
+
+		a.MulVec(w, x, ops)
+		w.Sub(b, w, ops)
+		res := w.Norm2(ops) / bNorm
+		if res <= tol {
+			return SolveStats{Iterations: total, Residual: res}, nil
+		}
+	}
+	return SolveStats{Iterations: total, Residual: math.NaN()}, ErrNoConvergence
+}

@@ -1,0 +1,211 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGMRESLaplace(t *testing.T) {
+	n := 64
+	a := laplace1D(n)
+	want := NewVector(n)
+	for i := range want {
+		want[i] = math.Cos(float64(i) / 10)
+	}
+	b := NewVector(n)
+	a.MulVec(b, want, nil)
+	x := NewVector(n)
+	// Restarted GMRES(30) needs a few hundred iterations on the plain
+	// Laplacian (restart stagnation); full GMRES would need ~34.
+	st, err := GMRES(a, x, b, 1e-12, 0, 2000, nil)
+	if err != nil {
+		t.Fatalf("GMRES: %v after %d iters", err, st.Iterations)
+	}
+	for i := range x {
+		if !almost(x[i], want[i], 1e-7) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGMRESNonsymmetric(t *testing.T) {
+	n := 60
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i > 0 {
+			b.Add(i, i-1, -2.5)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -0.5)
+		}
+	}
+	a := b.Build()
+	rng := rand.New(rand.NewSource(3))
+	want := NewVector(n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	rhs := NewVector(n)
+	a.MulVec(rhs, want, nil)
+	x := NewVector(n)
+	if _, err := GMRES(a, x, rhs, 1e-12, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almost(x[i], want[i], 1e-6) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGMRESRestartSmallerThanN(t *testing.T) {
+	// Force several restart cycles with a tiny Krylov space. (A pure
+	// Laplacian would stagnate under heavy restarting — the classic
+	// GMRES(m) failure mode — so use a diagonally dominant operator.)
+	n := 40
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 3)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -1)
+		}
+	}
+	a := b.Build()
+	want := NewVector(n)
+	want.Fill(1)
+	rhs := NewVector(n)
+	a.MulVec(rhs, want, nil)
+	x := NewVector(n)
+	st, err := GMRES(a, x, rhs, 1e-10, 5, 0, nil)
+	if err != nil {
+		t.Fatalf("GMRES(5): %v", err)
+	}
+	if st.Iterations <= 5 {
+		t.Fatalf("expected multiple restart cycles, got %d iterations", st.Iterations)
+	}
+	for i := range x {
+		if !almost(x[i], want[i], 1e-7) {
+			t.Fatalf("x[%d] = %g", i, x[i])
+		}
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := laplace1D(8)
+	x := NewVector(8)
+	x.Fill(2)
+	if _, err := GMRES(a, x, NewVector(8), 1e-10, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestGMRESExactInitialGuess(t *testing.T) {
+	a := laplace1D(16)
+	want := NewVector(16)
+	want.Fill(3)
+	rhs := NewVector(16)
+	a.MulVec(rhs, want, nil)
+	x := want.Clone()
+	st, err := GMRES(a, x, rhs, 1e-10, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("iterations = %d, want 0", st.Iterations)
+	}
+}
+
+func TestGMRESIterationBudget(t *testing.T) {
+	a := laplace1D(128)
+	rhs := NewVector(128)
+	rhs.Fill(1)
+	x := NewVector(128)
+	if _, err := GMRES(a, x, rhs, 1e-14, 4, 6, nil); err == nil {
+		t.Fatal("expected ErrNoConvergence with a 6-iteration budget")
+	}
+}
+
+func TestGMRESAgreesWithBiCGStab(t *testing.T) {
+	n := 50
+	b := NewBuilder(n, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := i - 2; j <= i+2; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			v := rng.Float64() - 0.5
+			b.Add(i, j, v)
+			row += math.Abs(v)
+		}
+		b.Add(i, i, row+1)
+	}
+	a := b.Build()
+	rhs := NewVector(n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x1 := NewVector(n)
+	x2 := NewVector(n)
+	if _, err := GMRES(a, x1, rhs, 1e-12, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BiCGStab(a, x2, rhs, 1e-12, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if !almost(x1[i], x2[i], 1e-7*(1+math.Abs(x1[i]))) {
+			t.Fatalf("solvers disagree at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+// Property: GMRES meets the requested residual on diagonally dominant
+// systems.
+func TestPropGMRESResidual(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 4
+		rng := rand.New(rand.NewSource(seed))
+		bld := NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			row := 0.0
+			for j := 0; j < n; j++ {
+				if j == i || rng.Float64() > 0.3 {
+					continue
+				}
+				v := rng.NormFloat64()
+				bld.Add(i, j, v)
+				row += math.Abs(v)
+			}
+			bld.Add(i, i, row+1+rng.Float64())
+		}
+		a := bld.Build()
+		rhs := NewVector(n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := NewVector(n)
+		if _, err := GMRES(a, x, rhs, 1e-9, 0, 0, nil); err != nil {
+			return false
+		}
+		r := NewVector(n)
+		a.MulVec(r, x, nil)
+		r.Sub(rhs, r, nil)
+		return r.Norm2(nil) <= 1e-7*(1+rhs.Norm2(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

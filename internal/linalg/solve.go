@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solve exhausts its
+// iteration budget without meeting the tolerance.
+var ErrNoConvergence = errors.New("linalg: iteration did not converge")
+
+// ErrBreakdown is returned when BiCGStab hits a true breakdown (rho or
+// omega collapses) before converging.
+var ErrBreakdown = errors.New("linalg: BiCGStab breakdown")
+
+// SolveStats reports the cost of an iterative solve.
+type SolveStats struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// BiCGStab solves A x = b with the BiCGStab iteration, Jacobi (diagonal)
+// preconditioned, to relative residual tol. x is used as the initial guess
+// and overwritten with the solution. maxIter <= 0 means 4*n.
+func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveStats, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: BiCGStab dims %dx%d, x[%d], b[%d]", a.Rows, a.Cols, len(x), len(b)))
+	}
+	if maxIter <= 0 {
+		maxIter = 4 * n
+		if maxIter < 100 {
+			maxIter = 100
+		}
+	}
+	// Jacobi preconditioner M^-1 = 1/diag(A).
+	invD := NewVector(n)
+	a.Diagonal(invD)
+	for i, d := range invD {
+		if d == 0 {
+			invD[i] = 1
+		} else {
+			invD[i] = 1 / d
+		}
+	}
+	ops.Add(int64(n))
+
+	r := NewVector(n)
+	a.MulVec(r, x, ops)
+	r.Sub(b, r, ops)
+	bNorm := b.Norm2(ops)
+	if bNorm == 0 {
+		x.Fill(0)
+		return SolveStats{Iterations: 0, Residual: 0}, nil
+	}
+	if r.Norm2(ops)/bNorm <= tol {
+		return SolveStats{Iterations: 0, Residual: r.Norm2(nil) / bNorm}, nil
+	}
+
+	rTilde := r.Clone()
+	p := NewVector(n)
+	v := NewVector(n)
+	s := NewVector(n)
+	t := NewVector(n)
+	pHat := NewVector(n)
+	sHat := NewVector(n)
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	for it := 1; it <= maxIter; it++ {
+		rhoNew := rTilde.Dot(r, ops)
+		if math.Abs(rhoNew) < 1e-300 {
+			return SolveStats{Iterations: it}, ErrBreakdown
+		}
+		if it == 1 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+			ops.Add(4 * int64(n))
+		}
+		rho = rhoNew
+		for i := range pHat {
+			pHat[i] = invD[i] * p[i]
+		}
+		ops.Add(int64(n))
+		a.MulVec(v, pHat, ops)
+		den := rTilde.Dot(v, ops)
+		if math.Abs(den) < 1e-300 {
+			return SolveStats{Iterations: it}, ErrBreakdown
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		ops.Add(2 * int64(n))
+		if sn := s.Norm2(ops); sn/bNorm <= tol {
+			x.AXPY(alpha, pHat, ops)
+			return SolveStats{Iterations: it, Residual: sn / bNorm}, nil
+		}
+		for i := range sHat {
+			sHat[i] = invD[i] * s[i]
+		}
+		ops.Add(int64(n))
+		a.MulVec(t, sHat, ops)
+		tt := t.Dot(t, ops)
+		if tt == 0 {
+			return SolveStats{Iterations: it}, ErrBreakdown
+		}
+		omega = t.Dot(s, ops) / tt
+		for i := range x {
+			x[i] += alpha*pHat[i] + omega*sHat[i]
+		}
+		ops.Add(4 * int64(n))
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		ops.Add(2 * int64(n))
+		if rn := r.Norm2(ops); rn/bNorm <= tol {
+			return SolveStats{Iterations: it, Residual: rn / bNorm}, nil
+		}
+		if math.Abs(omega) < 1e-300 {
+			return SolveStats{Iterations: it}, ErrBreakdown
+		}
+	}
+	return SolveStats{Iterations: maxIter, Residual: math.NaN()}, ErrNoConvergence
+}
+
+// SolveTridiag solves a tridiagonal system in place with the Thomas
+// algorithm: sub (length n, sub[0] unused), diag (length n), super (length
+// n, super[n-1] unused), rhs (length n). The solution overwrites rhs; diag
+// and rhs are clobbered.
+func SolveTridiag(sub, diag, super, rhs Vector, ops *Ops) error {
+	n := len(diag)
+	if len(sub) != n || len(super) != n || len(rhs) != n {
+		panic("linalg: SolveTridiag length mismatch")
+	}
+	for i := 1; i < n; i++ {
+		if diag[i-1] == 0 {
+			return errors.New("linalg: tridiagonal pivot is zero")
+		}
+		w := sub[i] / diag[i-1]
+		diag[i] -= w * super[i-1]
+		rhs[i] -= w * rhs[i-1]
+	}
+	if diag[n-1] == 0 {
+		return errors.New("linalg: tridiagonal pivot is zero")
+	}
+	rhs[n-1] /= diag[n-1]
+	for i := n - 2; i >= 0; i-- {
+		rhs[i] = (rhs[i] - super[i]*rhs[i+1]) / diag[i]
+	}
+	ops.Add(8 * int64(n))
+	return nil
+}

@@ -1,0 +1,308 @@
+package lang
+
+import "strings"
+
+// Program is a parsed MANIFOLD source file.
+type Program struct {
+	File       string
+	Directives []Directive
+	Decls      []*TopDecl
+}
+
+// Directive is a preprocessor line (#include, #pragma).
+type Directive struct {
+	Pos  Pos
+	Text string
+}
+
+// DeclKind distinguishes top-level declarations.
+type DeclKind int
+
+const (
+	DeclManifold DeclKind = iota
+	DeclManner
+	DeclEvent
+)
+
+// TopDecl is a top-level declaration: a manifold, a manner, or a global
+// event declaration.
+type TopDecl struct {
+	Pos      Pos
+	Kind     DeclKind
+	Export   bool
+	Name     string   // manifold/manner name; empty for event decls
+	Events   []string // names for DeclEvent
+	Params   []Param
+	Ports    []PortDecl // extra port declarations (e.g. dataport)
+	Atomic   bool
+	Internal []string // events listed in `atomic {internal. event ...}`
+	Body     *Block   // nil for atomic declarations
+}
+
+// ParamKind classifies formal parameters.
+type ParamKind int
+
+const (
+	ParamEvent ParamKind = iota
+	ParamProcess
+	ParamManifold
+	ParamPortIn
+	ParamPortOut
+	ParamUntyped
+)
+
+// Param is one formal parameter of a manifold or manner.
+type Param struct {
+	Pos      Pos
+	Kind     ParamKind
+	Name     string   // may be empty (e.g. `manifold Worker(event)`)
+	InPorts  []string // for ParamProcess with a port signature
+	OutPorts []string
+	SubTypes []ParamKind // for ParamManifold: parameter kinds of the manifold type
+}
+
+// PortDecl declares an extra port on a manifold.
+type PortDecl struct {
+	Pos  Pos
+	In   bool
+	Name string
+}
+
+// Block is `{ declarations states }`.
+type Block struct {
+	Pos    Pos
+	Decls  []BlockDecl
+	States []*State
+}
+
+// BlockDeclKind classifies block-local declarations.
+type BlockDeclKind int
+
+const (
+	BDSave BlockDeclKind = iota
+	BDIgnore
+	BDHold
+	BDPriority
+	BDProcess
+	BDEvent
+	BDStreamType
+)
+
+// BlockDecl is one declaration in a block's local declaration part.
+type BlockDecl struct {
+	Pos  Pos
+	Kind BlockDeclKind
+	// Names: events for BDSave/BDIgnore/BDHold/BDEvent ("*" alone for
+	// save *), or the two event names hi > lo for BDPriority.
+	Names []string
+	// Process declaration fields (BDProcess).
+	Auto     bool
+	ProcName string
+	TypeName string
+	Args     []Expr
+	// Stream-type declaration fields (BDStreamType).
+	StreamKK bool
+	Stream   *StreamExpr
+}
+
+// State is one labelled state.
+type State struct {
+	Pos    Pos
+	Labels []Label
+	Body   StateBody
+}
+
+// Label names an event, optionally filtered by source (`event.source`).
+type Label struct {
+	Pos    Pos
+	Event  string
+	Source string // optional
+}
+
+// StateBody is a group of actions, a nested block, or a statement.
+type StateBody interface{ stateBody() }
+
+// Group is `(a, b, c)` — actions installed together in a state.
+type Group struct {
+	Pos     Pos
+	Actions []Stmt
+}
+
+// Seq is `a; b; c` — sequential composition.
+type Seq struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (*Group) stateBody() {}
+func (*Block) stateBody() {}
+func (*Seq) stateBody()   {}
+
+// Stmt is a statement (action).
+type Stmt interface{ stmt() }
+
+// Assign is `x = expr`.
+type Assign struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// Call is `f(args)` — a primitive action, manner call, or predefined
+// process action (post, raise, MES, terminated, ...).
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// If is `if (cond) then (...) else (...)`.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then StateBody
+	Else StateBody // may be nil
+}
+
+// StreamExpr is `a -> b -> c.port`: a chain of stream connections.
+type StreamExpr struct {
+	Pos   Pos
+	Terms []StreamTerm
+}
+
+// StreamTerm is one endpoint in a stream chain.
+type StreamTerm struct {
+	Pos  Pos
+	Ref  bool   // &proc: the reference itself flows as a unit
+	Name string // process or variable name
+	Port string // optional `.port`
+}
+
+// Halt is the `halt` primitive.
+type Halt struct{ Pos Pos }
+
+// Ident used as a bare action (e.g. `preemptall`, `IDLE` after macro
+// expansion is terminated(void)).
+type NameAction struct {
+	Pos  Pos
+	Name string
+}
+
+func (*Assign) stmt()     {}
+func (*Call) stmt()       {}
+func (*If) stmt()         {}
+func (*StreamExpr) stmt() {}
+func (*Halt) stmt()       {}
+func (*NameAction) stmt() {}
+func (*Group) stmt()      {}
+func (*Block) stmt()      {}
+func (*Seq) stmt()        {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// Num is an integer literal.
+type Num struct {
+	Pos   Pos
+	Value int
+}
+
+// Str is a string literal.
+type Str struct {
+	Pos   Pos
+	Value string
+}
+
+// Name is an identifier reference.
+type Name struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is `&x` (a process reference) or `-x`.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is `a op b` with op in + - * / < <= > >= == !=.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// CallExpr is a call in expression position (e.g. variable(0)).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*Num) expr()      {}
+func (*Str) expr()      {}
+func (*Name) expr()     {}
+func (*Unary) expr()    {}
+func (*Binary) expr()   {}
+func (*CallExpr) expr() {}
+
+// EventNames returns the set of event labels a block handles.
+func (b *Block) EventNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range b.States {
+		for _, l := range s.Labels {
+			if !seen[l.Event] {
+				seen[l.Event] = true
+				out = append(out, l.Event)
+			}
+		}
+	}
+	return out
+}
+
+// String renders a compact one-line summary of a declaration (for tools).
+func (d *TopDecl) String() string {
+	var sb strings.Builder
+	if d.Export {
+		sb.WriteString("export ")
+	}
+	switch d.Kind {
+	case DeclManifold:
+		sb.WriteString("manifold ")
+	case DeclManner:
+		sb.WriteString("manner ")
+	case DeclEvent:
+		sb.WriteString("event ")
+		sb.WriteString(strings.Join(d.Events, ", "))
+		return sb.String()
+	}
+	sb.WriteString(d.Name)
+	sb.WriteString("(")
+	for i, p := range d.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch p.Kind {
+		case ParamEvent:
+			sb.WriteString("event")
+		case ParamProcess:
+			sb.WriteString("process")
+		case ParamManifold:
+			sb.WriteString("manifold")
+		case ParamPortIn:
+			sb.WriteString("port in")
+		case ParamPortOut:
+			sb.WriteString("port out")
+		}
+		if p.Name != "" {
+			sb.WriteString(" " + p.Name)
+		}
+	}
+	sb.WriteString(")")
+	if d.Atomic {
+		sb.WriteString(" atomic")
+	}
+	return sb.String()
+}

@@ -1,0 +1,301 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builtins are names known to the runtime without declaration.
+var Builtins = map[string]bool{
+	"variable": true, // the predefined variable manifold
+	"void":     true, // the special never-terminating process
+}
+
+// primitives usable as calls or bare actions in state bodies.
+var primitives = map[string]bool{
+	"post": true, "raise": true, "terminated": true, "halt": true,
+	"preemptall": true, "MES": true, "IDLE": true,
+}
+
+// Checker verifies a set of parsed programs: unique top-level names,
+// resolvable references, arity of manner/manifold calls, the mandatory
+// begin state in every block, and the subset restriction that blocking
+// actions (terminated) end their state body.
+type Checker struct {
+	decls  map[string]*TopDecl
+	events map[string]bool // globally declared event names
+	errs   []error
+}
+
+// Check analyses the programs together (as if concatenated by #include)
+// and returns all problems found.
+func Check(progs ...*Program) (map[string]*TopDecl, error) {
+	c := &Checker{decls: make(map[string]*TopDecl), events: map[string]bool{"begin": true, "end": true}}
+	for _, prog := range progs {
+		for _, d := range prog.Decls {
+			switch d.Kind {
+			case DeclEvent:
+				for _, n := range d.Events {
+					c.events[n] = true
+				}
+				continue
+			default:
+				for _, n := range d.Internal {
+					c.events[n] = true
+				}
+				if prev, ok := c.decls[d.Name]; ok {
+					c.errorf(d.Pos, "%s redeclared (previously at %s)", d.Name, prev.Pos)
+					continue
+				}
+				c.decls[d.Name] = d
+			}
+		}
+	}
+	for _, prog := range progs {
+		for _, d := range prog.Decls {
+			c.checkDecl(d)
+		}
+	}
+	if len(c.errs) > 0 {
+		return c.decls, errors.Join(c.errs...)
+	}
+	return c.decls, nil
+}
+
+func (c *Checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+type checkScope struct {
+	parent *checkScope
+	names  map[string]ParamKind // crude: name -> kind-ish
+}
+
+func (s *checkScope) lookup(n string) (ParamKind, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if k, ok := cur.names[n]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func (s *checkScope) child() *checkScope {
+	return &checkScope{parent: s, names: map[string]ParamKind{}}
+}
+
+func (c *Checker) checkDecl(d *TopDecl) {
+	switch d.Kind {
+	case DeclEvent:
+		return
+	case DeclManifold, DeclManner:
+		if d.Atomic {
+			if d.Body != nil {
+				c.errorf(d.Pos, "%s: atomic declaration cannot have a body", d.Name)
+			}
+			return
+		}
+		if d.Body == nil {
+			c.errorf(d.Pos, "%s: missing body", d.Name)
+			return
+		}
+		sc := &checkScope{names: map[string]ParamKind{}}
+		for _, prm := range d.Params {
+			if prm.Name != "" {
+				sc.names[prm.Name] = prm.Kind
+			}
+		}
+		c.checkBlock(d, d.Body, sc)
+	}
+}
+
+func (c *Checker) checkBlock(d *TopDecl, b *Block, outer *checkScope) {
+	sc := outer.child()
+	// Declarations first.
+	for _, bd := range b.Decls {
+		switch bd.Kind {
+		case BDEvent:
+			for _, n := range bd.Names {
+				sc.names[n] = ParamEvent
+			}
+		case BDProcess:
+			if !c.knownManifold(sc, bd.TypeName) {
+				c.errorf(bd.Pos, "process %s: unknown manifold %q", bd.ProcName, bd.TypeName)
+			}
+			for _, a := range bd.Args {
+				c.checkExpr(d, a, sc)
+			}
+			sc.names[bd.ProcName] = ParamProcess
+		case BDPriority:
+			// Both names must be events handled by this block.
+			handled := map[string]bool{}
+			for _, n := range b.EventNames() {
+				handled[n] = true
+			}
+			for _, n := range bd.Names {
+				if !handled[n] {
+					c.errorf(bd.Pos, "priority names %q which is not a state label of this block", n)
+				}
+			}
+		case BDStreamType:
+			c.checkStream(d, bd.Stream, sc, true)
+		}
+	}
+	// The mandatory begin state.
+	hasBegin := false
+	for _, s := range b.States {
+		for _, l := range s.Labels {
+			if l.Event == "begin" {
+				hasBegin = true
+			}
+		}
+	}
+	if !hasBegin {
+		c.errorf(b.Pos, "%s: block has no begin state", d.Name)
+	}
+	for _, s := range b.States {
+		c.checkBody(d, s.Body, sc)
+	}
+}
+
+func (c *Checker) knownManifold(sc *checkScope, name string) bool {
+	if Builtins[name] {
+		return true
+	}
+	if k, ok := sc.lookup(name); ok {
+		return k == ParamManifold
+	}
+	dd, ok := c.decls[name]
+	return ok && dd.Kind == DeclManifold
+}
+
+func (c *Checker) checkBody(d *TopDecl, body StateBody, sc *checkScope) {
+	switch b := body.(type) {
+	case nil:
+	case *Block:
+		c.checkBlock(d, b, sc)
+	case *Group:
+		for i, a := range b.Actions {
+			c.checkStmt(d, a, sc, i == len(b.Actions)-1)
+		}
+	case *Seq:
+		for i, a := range b.Stmts {
+			c.checkStmt(d, a, sc, i == len(b.Stmts)-1)
+		}
+	}
+}
+
+func (c *Checker) checkStmt(d *TopDecl, st Stmt, sc *checkScope, last bool) {
+	switch s := st.(type) {
+	case *Assign:
+		if _, ok := sc.lookup(s.Name); !ok {
+			c.errorf(s.Pos, "assignment to undeclared %q", s.Name)
+		}
+		c.checkExpr(d, s.Expr, sc)
+	case *Call:
+		c.checkCall(d, s, sc, last)
+	case *If:
+		c.checkExpr(d, s.Cond, sc)
+		c.checkBody(d, s.Then, sc)
+		c.checkBody(d, s.Else, sc)
+	case *StreamExpr:
+		c.checkStream(d, s, sc, false)
+	case *Halt, nil:
+	case *NameAction:
+		if !primitives[s.Name] {
+			if _, ok := sc.lookup(s.Name); !ok && !c.knownName(s.Name) {
+				c.errorf(s.Pos, "unknown action %q", s.Name)
+			}
+		}
+		if s.Name == "IDLE" && !last {
+			c.errorf(s.Pos, "IDLE must be the final action of its state")
+		}
+	case *Group, *Block, *Seq:
+		c.checkBody(d, s.(StateBody), sc)
+	}
+}
+
+func (c *Checker) knownName(n string) bool {
+	if Builtins[n] || primitives[n] {
+		return true
+	}
+	_, ok := c.decls[n]
+	return ok
+}
+
+func (c *Checker) checkCall(d *TopDecl, s *Call, sc *checkScope, last bool) {
+	switch s.Name {
+	case "post", "raise":
+		if len(s.Args) != 1 {
+			c.errorf(s.Pos, "%s takes one event argument", s.Name)
+		}
+	case "terminated":
+		if len(s.Args) != 1 {
+			c.errorf(s.Pos, "terminated takes one process argument")
+		}
+		if !last {
+			c.errorf(s.Pos, "terminated must be the final action of its state (subset restriction)")
+		}
+	case "MES":
+		// any arguments
+	default:
+		// A manner or manifold call.
+		if k, ok := sc.lookup(s.Name); ok {
+			if k != ParamManifold && k != ParamProcess {
+				c.errorf(s.Pos, "%q is not callable", s.Name)
+			}
+		} else if dd, ok := c.decls[s.Name]; ok {
+			if len(dd.Params) != len(s.Args) {
+				c.errorf(s.Pos, "%s expects %d arguments, got %d", s.Name, len(dd.Params), len(s.Args))
+			}
+		} else {
+			c.errorf(s.Pos, "call to unknown %q", s.Name)
+		}
+	}
+	for _, a := range s.Args {
+		c.checkExpr(d, a, sc)
+	}
+}
+
+func (c *Checker) checkStream(d *TopDecl, se *StreamExpr, sc *checkScope, decl bool) {
+	if se == nil {
+		return
+	}
+	for i, t := range se.Terms {
+		if t.Ref && i != 0 {
+			c.errorf(t.Pos, "&%s: a reference can only start a stream chain", t.Name)
+		}
+		if _, ok := sc.lookup(t.Name); ok {
+			continue
+		}
+		if c.knownName(t.Name) {
+			continue
+		}
+		c.errorf(t.Pos, "stream endpoint %q is not in scope", t.Name)
+	}
+}
+
+func (c *Checker) checkExpr(d *TopDecl, e Expr, sc *checkScope) {
+	switch x := e.(type) {
+	case *Name:
+		if _, ok := sc.lookup(x.Name); ok {
+			return
+		}
+		if c.knownName(x.Name) || c.events[x.Name] {
+			return
+		}
+		c.errorf(x.Pos, "unknown name %q", x.Name)
+	case *Unary:
+		c.checkExpr(d, x.X, sc)
+	case *Binary:
+		c.checkExpr(d, x.L, sc)
+		c.checkExpr(d, x.R, sc)
+	case *CallExpr:
+		if _, ok := sc.lookup(x.Name); !ok && !c.knownName(x.Name) {
+			c.errorf(x.Pos, "call to unknown %q", x.Name)
+		}
+		for _, a := range x.Args {
+			c.checkExpr(d, a, sc)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, srcs ...string) error {
+	t.Helper()
+	var progs []*Program
+	for i, s := range srcs {
+		p, err := Parse("t.m", s)
+		if err != nil {
+			t.Fatalf("parse %d: %v", i, err)
+		}
+		progs = append(progs, p)
+	}
+	_, err := Check(progs...)
+	return err
+}
+
+func TestCheckAcceptsPaperSources(t *testing.T) {
+	proto := readTestdata(t, "protocolMW.m")
+	main := readTestdata(t, "mainprog.m")
+	if err := checkSrc(t, proto, main); err != nil {
+		t.Fatalf("paper sources rejected: %v", err)
+	}
+}
+
+func TestCheckMissingBeginState(t *testing.T) {
+	err := checkSrc(t, "manifold M() { go_on: halt. }")
+	if err == nil || !strings.Contains(err.Error(), "begin state") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckRedeclaration(t *testing.T) {
+	err := checkSrc(t, "manifold W(event) atomic. manifold W(event) atomic.")
+	if err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckUnknownManifoldInProcessDecl(t *testing.T) {
+	err := checkSrc(t, `manifold M() {
+		process w is Nowhere().
+		begin: halt.
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "unknown manifold") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckCallArity(t *testing.T) {
+	err := checkSrc(t, `
+		manner N(event e) { begin: halt. }
+		manifold M() { begin: N(). }
+	`)
+	if err == nil || !strings.Contains(err.Error(), "expects 1 arguments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckUnknownCall(t *testing.T) {
+	err := checkSrc(t, "manifold M() { begin: Phantom(1). }")
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckPriorityMustNameLabels(t *testing.T) {
+	err := checkSrc(t, `manifold M() {
+		priority a > b.
+		begin: halt.
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "priority") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckTerminatedMustBeLast(t *testing.T) {
+	err := checkSrc(t, `manifold M() {
+		begin: (terminated(void), preemptall).
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "final action") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckStreamEndpointScope(t *testing.T) {
+	err := checkSrc(t, `manifold M() {
+		begin: ghost -> phantom.
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "not in scope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckRefOnlyStartsChain(t *testing.T) {
+	err := checkSrc(t, `manifold M(process a, process b) {
+		begin: a -> &b.
+	}`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheckAtomicWithBodyRejected(t *testing.T) {
+	// The parser cannot even produce this (atomic consumes the dot), so
+	// assert the parse fails cleanly.
+	if _, err := Parse("t.m", "manifold W() atomic { begin: halt. }"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCheckGlobalEventsUsable(t *testing.T) {
+	err := checkSrc(t, `
+		event go_ahead.
+		manifold M() { begin: raise(go_ahead). }
+	`)
+	if err != nil {
+		t.Fatalf("global event not usable: %v", err)
+	}
+}
+
+func TestCheckInternalEventsUsable(t *testing.T) {
+	err := checkSrc(t, `
+		manifold A(port in p) atomic {internal. event ping}.
+		manifold M() { begin: raise(ping). }
+	`)
+	if err != nil {
+		t.Fatalf("internal event not usable: %v", err)
+	}
+}

@@ -1,0 +1,913 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/manifold"
+)
+
+// Value is a runtime value of the interpreter.
+type Value any
+
+// IntVal is an integer value (the contents of a variable process).
+type IntVal int
+
+// StrVal is a string value.
+type StrVal string
+
+// EventVal is an event, identified by its runtime name (local event
+// declarations are uniquified per instantiation so two concurrent pools do
+// not cross-talk).
+type EventVal string
+
+// ProcVal is a process instance.
+type ProcVal struct{ P *manifold.Process }
+
+// ManifoldVal is a manifold type passed as a value (e.g. the Worker
+// parameter of ProtocolMW).
+type ManifoldVal struct{ Decl *TopDecl }
+
+// VarVal is an instance of the predefined `variable` manifold: the only
+// data MANIFOLD knows is a process, so even an integer cell is one.
+type VarVal struct {
+	mu  sync.Mutex
+	val int
+}
+
+// Get reads the variable.
+func (v *VarVal) Get() int { v.mu.Lock(); defer v.mu.Unlock(); return v.val }
+
+// Set writes the variable.
+func (v *VarVal) Set(x int) { v.mu.Lock(); defer v.mu.Unlock(); v.val = x }
+
+// AtomicFunc is the Go body of an atomic manifold (the paper's C wrappers
+// around the legacy subroutines). It receives its own process and the
+// evaluated actual parameters.
+type AtomicFunc func(p *manifold.Process, args []Value)
+
+// Interp executes checked MANIFOLD programs on the IWIM runtime.
+type Interp struct {
+	decls   map[string]*TopDecl
+	atomics map[string]AtomicFunc
+	env     *manifold.Env
+	// Output receives MES(...) messages; defaults to io.Discard.
+	Output io.Writer
+
+	seq atomic.Int64 // uniquifier for local events, instances, wait tokens
+
+	mu      sync.Mutex
+	runErrs []error
+}
+
+// recordErr collects a runtime error raised inside a process body.
+func (it *Interp) recordErr(err error) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.runErrs = append(it.runErrs, err)
+}
+
+// Errs returns the runtime errors recorded so far.
+func (it *Interp) Errs() []error {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return append([]error(nil), it.runErrs...)
+}
+
+// NewInterp checks the programs and builds an interpreter.
+func NewInterp(progs ...*Program) (*Interp, error) {
+	decls, err := Check(progs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Interp{
+		decls:   decls,
+		atomics: make(map[string]AtomicFunc),
+		env:     manifold.NewEnv(),
+		Output:  io.Discard,
+	}, nil
+}
+
+// RegisterAtomic binds a Go function to an atomic manifold declaration.
+func (it *Interp) RegisterAtomic(name string, fn AtomicFunc) error {
+	d, ok := it.decls[name]
+	if !ok {
+		return fmt.Errorf("lang: no declaration named %s", name)
+	}
+	if !d.Atomic {
+		return fmt.Errorf("lang: %s is not atomic", name)
+	}
+	it.atomics[name] = fn
+	return nil
+}
+
+// Env exposes the underlying runtime environment.
+func (it *Interp) Env() *manifold.Env { return it.env }
+
+// Run instantiates the named manifold with the given arguments, activates
+// it, and waits until every process of the application has terminated.
+func (it *Interp) Run(name string, args ...Value) error {
+	d, ok := it.decls[name]
+	if !ok || d.Kind != DeclManifold {
+		return fmt.Errorf("lang: no manifold named %s", name)
+	}
+	inst, err := it.instantiate(d, args)
+	if err != nil {
+		return err
+	}
+	inst.Activate()
+	inst.Terminated()
+	// A runtime error in any process body aborts the run without waiting
+	// for the remaining (possibly stranded) processes.
+	if errs := it.Errs(); len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	it.env.Wait()
+	if errs := it.Errs(); len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	return nil
+}
+
+// instantiate creates (but does not activate) a process for manifold d.
+func (it *Interp) instantiate(d *TopDecl, args []Value) (*manifold.Process, error) {
+	if len(args) != len(d.Params) {
+		return nil, fmt.Errorf("lang: %s expects %d arguments, got %d", d.Name, len(d.Params), len(args))
+	}
+	var extra []string
+	for _, pd := range d.Ports {
+		extra = append(extra, pd.Name)
+	}
+	name := fmt.Sprintf("%s-%d", d.Name, it.seq.Add(1))
+	if d.Atomic {
+		fn, ok := it.atomics[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("lang: atomic manifold %s has no registered Go body", d.Name)
+		}
+		p := it.env.NewProcess(name, func(self *manifold.Process) {
+			fn(self, args)
+		}, extra...)
+		return p, nil
+	}
+	// Observe every event name that can label a state anywhere in this
+	// manifold's body — including manners it calls — before activation, so
+	// that occurrences raised by co-processes that start first (the
+	// already-active master of the paper's protocol) are never missed.
+	closure := it.labelClosure(d)
+	p := it.env.NewProcess(name, func(self *manifold.Process) {
+		defer func() {
+			if r := recover(); r != nil {
+				if re, ok := r.(runtimeError); ok {
+					it.recordErr(fmt.Errorf("lang: process %s: %w", self.Name(), re.err))
+					return
+				}
+				panic(r)
+			}
+		}()
+		ex := &exec{it: it, proc: self}
+		sc := &scope{vars: map[string]Value{}}
+		for i, prm := range d.Params {
+			if prm.Name != "" {
+				sc.vars[prm.Name] = args[i]
+			}
+		}
+		ex.runBlock(d.Body, sc, nil)
+	}, extra...)
+	p.Observe(closure...)
+	return p, nil
+}
+
+// labelClosure collects the state-label event names reachable from d's
+// body through manner calls.
+func (it *Interp) labelClosure(d *TopDecl) []string {
+	seenDecl := map[string]bool{d.Name: true}
+	names := map[string]bool{}
+	var walkBody func(StateBody)
+	var walkStmt func(Stmt)
+	var walkBlock func(*Block)
+	callTo := func(name string) {
+		if dd, ok := it.decls[name]; ok && dd.Kind == DeclManner && !seenDecl[name] {
+			seenDecl[name] = true
+			walkBlock(dd.Body)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch x := s.(type) {
+		case *Call:
+			callTo(x.Name)
+		case *If:
+			walkBody(x.Then)
+			walkBody(x.Else)
+		case *Group:
+			for _, a := range x.Actions {
+				walkStmt(a)
+			}
+		case *Seq:
+			for _, a := range x.Stmts {
+				walkStmt(a)
+			}
+		case *Block:
+			walkBlock(x)
+		}
+	}
+	walkBody = func(b StateBody) {
+		switch x := b.(type) {
+		case nil:
+		case *Block:
+			walkBlock(x)
+		case *Group:
+			for _, a := range x.Actions {
+				walkStmt(a)
+			}
+		case *Seq:
+			for _, a := range x.Stmts {
+				walkStmt(a)
+			}
+		}
+	}
+	walkBlock = func(b *Block) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.States {
+			for _, l := range s.Labels {
+				names[l.Event] = true
+			}
+			walkBody(s.Body)
+		}
+	}
+	walkBlock(d.Body)
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	return out
+}
+
+// scope is a lexical environment.
+type scope struct {
+	parent *scope
+	vars   map[string]Value
+}
+
+func (s *scope) child() *scope { return &scope{parent: s, vars: map[string]Value{}} }
+
+func (s *scope) lookup(n string) (Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[n]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// exec is the execution context of one interpreted process.
+type exec struct {
+	it   *Interp
+	proc *manifold.Process
+}
+
+// blockOutcome tells a caller how a block ended.
+type blockOutcome int
+
+const (
+	blockEnded     blockOutcome = iota // end state completed or block ran dry
+	blockHalted                        // halt primitive
+	blockPreempted                     // an outer label matched (no save *)
+)
+
+// streamRule is a `stream KK a -> b.port.` declaration in force.
+type streamRule struct {
+	src, dst, dstPort string
+	kk                bool
+}
+
+// runtimeError aborts the interpreted process; MANIFOLD has no recoverable
+// runtime errors in this subset.
+type runtimeError struct{ err error }
+
+func (ex *exec) fail(pos Pos, format string, args ...any) {
+	panic(runtimeError{fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))})
+}
+
+// runBlock executes a block: declarations, then the event-driven state
+// machine. outerLabels are the labels of enclosing blocks that may preempt
+// this one; a `save *` declaration suppresses them (events stay in memory
+// for the enclosing block to handle later).
+func (ex *exec) runBlock(b *Block, outer *scope, outerLabels []manifold.Label) (blockOutcome, manifold.Occurrence) {
+	sc := outer.child()
+	saveAll := false
+	var rules []streamRule
+	var priorities []string
+
+	for _, bd := range b.Decls {
+		switch bd.Kind {
+		case BDSave:
+			for _, n := range bd.Names {
+				if n == "*" {
+					saveAll = true
+				}
+			}
+		case BDIgnore, BDHold:
+			// ignore: occurrences may be dropped on exit — our memory is
+			// bounded by observation, so this is a no-op. hold: our memory
+			// already retains occurrences across scopes.
+		case BDPriority:
+			priorities = append(priorities, bd.Names...)
+		case BDEvent:
+			for _, n := range bd.Names {
+				ev := EventVal(fmt.Sprintf("%s#%d", n, ex.it.seq.Add(1)))
+				sc.vars[n] = ev
+				// The declaring block holds occurrences of its local
+				// events even before a state waits for them (the paper's
+				// workers die while the coordinator is still creating
+				// others; the rendezvous counts them later).
+				ex.proc.Observe(string(ev))
+			}
+		case BDProcess:
+			v := ex.createProcess(bd, sc)
+			sc.vars[bd.ProcName] = v
+		case BDStreamType:
+			terms := bd.Stream.Terms
+			rules = append(rules, streamRule{
+				src:     terms[0].Name,
+				dst:     terms[len(terms)-1].Name,
+				dstPort: terms[len(terms)-1].Port,
+				kk:      bd.StreamKK,
+			})
+		}
+	}
+
+	// Resolve this block's labels (priority declarations first, then
+	// declaration order) and observe their runtime event names.
+	labels := ex.blockLabels(b, sc, priorities)
+	for _, l := range labels {
+		ex.proc.Observe(l.Event)
+	}
+	waitSet := labels
+	if !saveAll {
+		waitSet = append(append([]manifold.Label{}, labels...), outerLabels...)
+	}
+
+	// Enter via the mandatory begin state: MANIFOLD guarantees that upon
+	// entering a block at least the begin state is visited, regardless of
+	// other pending occurrences, so the first wait matches begin only.
+	ex.proc.Post("begin")
+	first := ex.proc.Wait(manifold.On("begin"))
+
+	var stateScope manifold.Scope
+	onlyBegin := len(labels) == 1 && labels[0].Event == "begin"
+	pending := &first
+	for {
+		var occ manifold.Occurrence
+		if pending != nil {
+			occ, pending = *pending, nil
+		} else {
+			occ = ex.proc.Wait(waitSet...)
+		}
+		// Leaving the previous state dismantles its streams (BK broken,
+		// KK kept).
+		stateScope.Dismantle()
+		if !saveAll && !ex.ownsLabel(labels, occ) {
+			return blockPreempted, occ
+		}
+		st := ex.stateFor(b, sc, occ)
+		if st == nil {
+			continue // stale internal token
+		}
+		res, next := ex.runState(st, sc, &stateScope, rules, waitSet)
+		switch res {
+		case stateHalted:
+			stateScope.Dismantle()
+			return blockHalted, manifold.Occurrence{}
+		case statePreempted:
+			if !ex.ownsLabel(labels, next) {
+				stateScope.Dismantle()
+				return blockPreempted, next
+			}
+			pending = &next
+			continue
+		}
+		// State completed. An `end` state completing exits the block; a
+		// block whose only state is begin exits after begin completes.
+		if ex.isEndState(st) || onlyBegin {
+			stateScope.Dismantle()
+			return blockEnded, manifold.Occurrence{}
+		}
+	}
+}
+
+func (ex *exec) isEndState(st *State) bool {
+	for _, l := range st.Labels {
+		if l.Event == "end" {
+			return true
+		}
+	}
+	return false
+}
+
+// ownsLabel reports whether occ matches one of the block's own labels.
+func (ex *exec) ownsLabel(labels []manifold.Label, occ manifold.Occurrence) bool {
+	for _, l := range labels {
+		if l.Event == occ.Event && (l.Source == nil || l.Source == occ.Source) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockLabels resolves state labels to runtime labels, priority names
+// first.
+func (ex *exec) blockLabels(b *Block, sc *scope, priorities []string) []manifold.Label {
+	var ordered []Label
+	seen := map[string]bool{}
+	add := func(l Label) {
+		key := l.Event + "." + l.Source
+		if !seen[key] {
+			seen[key] = true
+			ordered = append(ordered, l)
+		}
+	}
+	for _, pn := range priorities {
+		for _, s := range b.States {
+			for _, l := range s.Labels {
+				if l.Event == pn {
+					add(l)
+				}
+			}
+		}
+	}
+	for _, s := range b.States {
+		for _, l := range s.Labels {
+			add(l)
+		}
+	}
+	out := make([]manifold.Label, 0, len(ordered))
+	for _, l := range ordered {
+		ml := manifold.Label{Event: ex.eventName(sc, l.Event)}
+		if l.Source != "" {
+			if v, ok := sc.lookup(l.Source); ok {
+				if pv, ok := v.(*ProcVal); ok {
+					ml.Source = pv.P
+				}
+			}
+		}
+		out = append(out, ml)
+	}
+	return out
+}
+
+// eventName resolves an event identifier through the scope (local events
+// are uniquified; unbound names are global events used verbatim).
+func (ex *exec) eventName(sc *scope, name string) string {
+	if v, ok := sc.lookup(name); ok {
+		if e, ok := v.(EventVal); ok {
+			return string(e)
+		}
+	}
+	return name
+}
+
+// stateFor finds the state handling an occurrence.
+func (ex *exec) stateFor(b *Block, sc *scope, occ manifold.Occurrence) *State {
+	for _, s := range b.States {
+		for _, l := range s.Labels {
+			if ex.eventName(sc, l.Event) != occ.Event {
+				continue
+			}
+			if l.Source != "" {
+				v, ok := sc.lookup(l.Source)
+				if !ok {
+					continue
+				}
+				pv, ok := v.(*ProcVal)
+				if !ok || pv.P != occ.Source {
+					continue
+				}
+			}
+			return s
+		}
+	}
+	return nil
+}
+
+// waitToken is the blocking handle produced by terminated(...): the state
+// loop waits for the token event alongside the preempting labels.
+type waitToken struct {
+	event string // "" means wait forever (terminated(void))
+}
+
+// stateResult tells the block loop how a state ended.
+type stateResult int
+
+const (
+	stateCompleted stateResult = iota
+	stateHalted
+	statePreempted
+)
+
+// runState executes one state's body. It returns statePreempted plus the
+// occurrence when a label event preempts the body (either mid-way through
+// a nested block, or while blocked in a trailing terminated/IDLE action).
+func (ex *exec) runState(st *State, sc *scope, stScope *manifold.Scope, rules []streamRule, waitSet []manifold.Label) (stateResult, manifold.Occurrence) {
+	outcome, tok, pre := ex.runBody(st.Body, sc, stScope, rules, waitSet)
+	switch outcome {
+	case bodyHalt:
+		return stateHalted, manifold.Occurrence{}
+	case bodyPreempted:
+		return statePreempted, pre
+	case bodyBlocked:
+		// Wait for the blocking action's token or a preempting label.
+		set := waitSet
+		if tok.event != "" {
+			set = append([]manifold.Label{{Event: tok.event}}, waitSet...)
+			ex.proc.Observe(tok.event)
+		}
+		occ := ex.proc.Wait(set...)
+		if tok.event != "" && occ.Event == tok.event {
+			return stateCompleted, manifold.Occurrence{}
+		}
+		return statePreempted, occ
+	}
+	return stateCompleted, manifold.Occurrence{}
+}
+
+// body outcomes.
+type bodyOutcome int
+
+const (
+	bodyDone bodyOutcome = iota
+	bodyBlocked
+	bodyHalt
+	bodyPreempted
+)
+
+func (ex *exec) runBody(body StateBody, sc *scope, stScope *manifold.Scope, rules []streamRule, waitSet []manifold.Label) (bodyOutcome, waitToken, manifold.Occurrence) {
+	switch b := body.(type) {
+	case nil:
+		return bodyDone, waitToken{}, manifold.Occurrence{}
+	case *Block:
+		out, occ := ex.runBlock(b, sc, waitSet)
+		switch out {
+		case blockHalted:
+			return bodyHalt, waitToken{}, manifold.Occurrence{}
+		case blockPreempted:
+			return bodyPreempted, waitToken{}, occ
+		}
+		return bodyDone, waitToken{}, manifold.Occurrence{}
+	case *Group:
+		return ex.runStmts(b.Actions, sc, stScope, rules, waitSet)
+	case *Seq:
+		return ex.runStmts(b.Stmts, sc, stScope, rules, waitSet)
+	}
+	return bodyDone, waitToken{}, manifold.Occurrence{}
+}
+
+func (ex *exec) runStmts(stmts []Stmt, sc *scope, stScope *manifold.Scope, rules []streamRule, waitSet []manifold.Label) (bodyOutcome, waitToken, manifold.Occurrence) {
+	for i, st := range stmts {
+		last := i == len(stmts)-1
+		out, tok, pre := ex.runStmt(st, sc, stScope, rules, waitSet, last)
+		if out != bodyDone {
+			return out, tok, pre
+		}
+	}
+	return bodyDone, waitToken{}, manifold.Occurrence{}
+}
+
+func (ex *exec) runStmt(st Stmt, sc *scope, stScope *manifold.Scope, rules []streamRule, waitSet []manifold.Label, last bool) (bodyOutcome, waitToken, manifold.Occurrence) {
+	none := manifold.Occurrence{}
+	switch s := st.(type) {
+	case *Assign:
+		v, ok := sc.lookup(s.Name)
+		if !ok {
+			ex.fail(s.Pos, "assignment to undeclared %q", s.Name)
+		}
+		cell, ok := v.(*VarVal)
+		if !ok {
+			ex.fail(s.Pos, "%q is not a variable process", s.Name)
+		}
+		cell.Set(ex.evalInt(s.Expr, sc))
+		return bodyDone, waitToken{}, none
+	case *Call:
+		return ex.runCall(s, sc, stScope, rules, waitSet)
+	case *If:
+		if ex.evalInt(s.Cond, sc) != 0 {
+			return ex.runBody(s.Then, sc, stScope, rules, waitSet)
+		}
+		if s.Else != nil {
+			return ex.runBody(s.Else, sc, stScope, rules, waitSet)
+		}
+		return bodyDone, waitToken{}, none
+	case *StreamExpr:
+		ex.buildStreams(s, sc, stScope, rules)
+		return bodyDone, waitToken{}, none
+	case *Halt:
+		return bodyHalt, waitToken{}, none
+	case *NameAction:
+		switch s.Name {
+		case "preemptall":
+			return bodyDone, waitToken{}, none // all labels already preempt
+		case "halt":
+			return bodyHalt, waitToken{}, none
+		case "IDLE":
+			return bodyBlocked, waitToken{}, none // terminated(void)
+		default:
+			return bodyDone, waitToken{}, none
+		}
+	case *Group:
+		return ex.runStmts(s.Actions, sc, stScope, rules, waitSet)
+	case *Seq:
+		return ex.runStmts(s.Stmts, sc, stScope, rules, waitSet)
+	case *Block:
+		return ex.runBody(s, sc, stScope, rules, waitSet)
+	}
+	return bodyDone, waitToken{}, none
+}
+
+func (ex *exec) runCall(s *Call, sc *scope, stScope *manifold.Scope, rules []streamRule, waitSet []manifold.Label) (bodyOutcome, waitToken, manifold.Occurrence) {
+	none := manifold.Occurrence{}
+	switch s.Name {
+	case "post":
+		name, _ := ex.eventArg(s, sc)
+		ex.proc.Post(name)
+		return bodyDone, waitToken{}, none
+	case "raise":
+		name, _ := ex.eventArg(s, sc)
+		ex.proc.Raise(name)
+		return bodyDone, waitToken{}, none
+	case "MES":
+		var parts []any
+		for _, a := range s.Args {
+			parts = append(parts, ex.eval(a, sc))
+		}
+		fmt.Fprintf(ex.it.Output, "[%s] ", ex.proc.Name())
+		fmt.Fprintln(ex.it.Output, parts...)
+		return bodyDone, waitToken{}, none
+	case "terminated":
+		if n, ok := s.Args[0].(*Name); ok && n.Name == "void" {
+			return bodyBlocked, waitToken{}, none // void never terminates
+		}
+		v := ex.eval(s.Args[0], sc)
+		pv, ok := v.(*ProcVal)
+		if !ok {
+			ex.fail(s.Pos, "terminated needs a process, got %T", v)
+		}
+		tok := waitToken{event: fmt.Sprintf("__terminated#%d", ex.it.seq.Add(1))}
+		ex.proc.Observe(tok.event)
+		target := pv.P
+		self := ex.proc
+		go func() {
+			target.Terminated()
+			self.Post(tok.event)
+		}()
+		return bodyBlocked, tok, none
+	default:
+		// Manner call or manifold instantiation-as-action.
+		if v, ok := sc.lookup(s.Name); ok {
+			if mv, ok := v.(*ManifoldVal); ok {
+				ex.instantiateAction(s, mv.Decl, sc)
+				return bodyDone, waitToken{}, none
+			}
+		}
+		d, ok := ex.it.decls[s.Name]
+		if !ok {
+			ex.fail(s.Pos, "call to unknown %q", s.Name)
+		}
+		if d.Kind == DeclManner {
+			args := ex.evalArgs(s.Args, sc)
+			mnSc := &scope{vars: map[string]Value{}}
+			for i, prm := range d.Params {
+				if prm.Name != "" {
+					mnSc.vars[prm.Name] = args[i]
+				}
+			}
+			out, occ := ex.runBlock(d.Body, mnSc, waitSet)
+			switch out {
+			case blockPreempted:
+				return bodyPreempted, waitToken{}, occ
+			}
+			// A manner returning by halt returns control to the caller —
+			// it does not halt the caller.
+			return bodyDone, waitToken{}, none
+		}
+		ex.instantiateAction(s, d, sc)
+		return bodyDone, waitToken{}, none
+	}
+}
+
+// instantiateAction creates and activates an instance of a manifold used
+// as an action (e.g. `Master(argv)` in expression/action position).
+func (ex *exec) instantiateAction(s *Call, d *TopDecl, sc *scope) *ProcVal {
+	args := ex.evalArgs(s.Args, sc)
+	p, err := ex.it.instantiate(d, args)
+	if err != nil {
+		ex.fail(s.Pos, "%v", err)
+	}
+	p.Activate()
+	return &ProcVal{P: p}
+}
+
+func (ex *exec) eventArg(s *Call, sc *scope) (string, bool) {
+	n, ok := s.Args[0].(*Name)
+	if !ok {
+		ex.fail(s.Pos, "%s needs an event name", s.Name)
+	}
+	return ex.eventName(sc, n.Name), true
+}
+
+// createProcess handles a `process x is T(args).` declaration.
+func (ex *exec) createProcess(bd BlockDecl, sc *scope) Value {
+	if bd.TypeName == "variable" {
+		v := &VarVal{}
+		if len(bd.Args) == 1 {
+			v.Set(ex.evalInt(bd.Args[0], sc))
+		}
+		return v
+	}
+	var d *TopDecl
+	if v, ok := sc.lookup(bd.TypeName); ok {
+		if mv, ok := v.(*ManifoldVal); ok {
+			d = mv.Decl
+		}
+	}
+	if d == nil {
+		dd, ok := ex.it.decls[bd.TypeName]
+		if !ok {
+			ex.fail(bd.Pos, "unknown manifold %q", bd.TypeName)
+		}
+		d = dd
+	}
+	args := ex.evalArgs(bd.Args, sc)
+	p, err := ex.it.instantiate(d, args)
+	if err != nil {
+		ex.fail(bd.Pos, "%v", err)
+	}
+	if bd.Auto {
+		p.Activate()
+	}
+	return &ProcVal{P: p}
+}
+
+// buildStreams wires a chain a -> b -> c.port inside the state scope.
+func (ex *exec) buildStreams(se *StreamExpr, sc *scope, stScope *manifold.Scope, rules []streamRule) {
+	terms := se.Terms
+	for i := 0; i+1 < len(terms); i++ {
+		src, dst := terms[i], terms[i+1]
+		dstPort := ex.portOf(dst, sc, true)
+		typ := manifold.BK
+		for _, r := range rules {
+			if r.src == src.Name && r.dst == dst.Name && (r.dstPort == "" || r.dstPort == dst.Port) {
+				if r.kk {
+					typ = manifold.KK
+				}
+			}
+		}
+		if src.Ref {
+			// The reference itself flows as a unit: the executing
+			// coordinator writes &proc through its own output port.
+			v, ok := sc.lookup(src.Name)
+			if !ok {
+				ex.fail(src.Pos, "unknown process %q", src.Name)
+			}
+			pv, ok := v.(*ProcVal)
+			if !ok {
+				ex.fail(src.Pos, "&%s is not a process", src.Name)
+			}
+			stScope.Connect(ex.proc.Output(), dstPort, typ)
+			ex.proc.Output().Write(pv.P)
+			continue
+		}
+		srcPort := ex.portOf(src, sc, false)
+		stScope.Connect(srcPort, dstPort, typ)
+	}
+}
+
+// portOf resolves a stream term to a port (default: input for sinks,
+// output for sources).
+func (ex *exec) portOf(t StreamTerm, sc *scope, sink bool) *manifold.Port {
+	v, ok := sc.lookup(t.Name)
+	if !ok {
+		ex.fail(t.Pos, "unknown process %q in stream", t.Name)
+	}
+	pv, ok := v.(*ProcVal)
+	if !ok {
+		ex.fail(t.Pos, "%q is not a process", t.Name)
+	}
+	port := t.Port
+	if port == "" {
+		if sink {
+			port = "input"
+		} else {
+			port = "output"
+		}
+	}
+	return pv.P.Port(port)
+}
+
+func (ex *exec) evalArgs(args []Expr, sc *scope) []Value {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		out[i] = ex.eval(a, sc)
+	}
+	return out
+}
+
+// eval evaluates an expression.
+func (ex *exec) eval(e Expr, sc *scope) Value {
+	switch x := e.(type) {
+	case *Num:
+		return IntVal(x.Value)
+	case *Str:
+		return StrVal(x.Value)
+	case *Name:
+		if v, ok := sc.lookup(x.Name); ok {
+			if cell, ok := v.(*VarVal); ok {
+				return IntVal(cell.Get())
+			}
+			return v
+		}
+		if d, ok := ex.it.decls[x.Name]; ok {
+			return &ManifoldVal{Decl: d}
+		}
+		// Unbound names in argument position are global event names.
+		return EventVal(x.Name)
+	case *Unary:
+		switch x.Op {
+		case "&":
+			v := ex.eval(x.X, sc)
+			if pv, ok := v.(*ProcVal); ok {
+				return pv
+			}
+			ex.fail(x.Pos, "& of non-process")
+		case "-":
+			return IntVal(-ex.evalInt(x.X, sc))
+		}
+	case *Binary:
+		l := ex.evalInt(x.L, sc)
+		r := ex.evalInt(x.R, sc)
+		b2i := func(b bool) IntVal {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch x.Op {
+		case "+":
+			return IntVal(l + r)
+		case "-":
+			return IntVal(l - r)
+		case "*":
+			return IntVal(l * r)
+		case "/":
+			if r == 0 {
+				ex.fail(x.Pos, "division by zero")
+			}
+			return IntVal(l / r)
+		case "<":
+			return b2i(l < r)
+		case "<=":
+			return b2i(l <= r)
+		case ">":
+			return b2i(l > r)
+		case ">=":
+			return b2i(l >= r)
+		case "==":
+			return b2i(l == r)
+		case "!=":
+			return b2i(l != r)
+		}
+	case *CallExpr:
+		// Instantiation in expression position: Master(argv).
+		var d *TopDecl
+		if v, ok := sc.lookup(x.Name); ok {
+			if mv, ok := v.(*ManifoldVal); ok {
+				d = mv.Decl
+			}
+		}
+		if d == nil {
+			dd, ok := ex.it.decls[x.Name]
+			if !ok {
+				ex.fail(x.Pos, "unknown %q", x.Name)
+			}
+			d = dd
+		}
+		return ex.instantiateAction(&Call{Pos: x.Pos, Name: x.Name, Args: x.Args}, d, sc)
+	}
+	ex.fail(Pos{}, "unhandled expression %T", e)
+	return nil
+}
+
+func (ex *exec) evalInt(e Expr, sc *scope) int {
+	v := ex.eval(e, sc)
+	switch n := v.(type) {
+	case IntVal:
+		return int(n)
+	case *VarVal:
+		return n.Get()
+	}
+	ex.fail(Pos{}, "expected integer, got %T", v)
+	return 0
+}

@@ -1,0 +1,185 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/manifold"
+)
+
+func TestVarValCell(t *testing.T) {
+	v := &VarVal{}
+	if v.Get() != 0 {
+		t.Fatal("fresh variable not zero")
+	}
+	v.Set(42)
+	if v.Get() != 42 {
+		t.Fatal("set/get broken")
+	}
+}
+
+func TestArithmeticOperators(t *testing.T) {
+	// Exercise every operator through a chain of variable updates.
+	src := `
+		event go_on.
+		manifold Kick(event) atomic.
+		manifold Main() {
+			auto process a is variable(7).
+			auto process k is Kick(0).
+			begin: terminated(void).
+			go_on: a = a * 2;
+				a = a - 4;
+				a = a / 5;
+				a = -a + 3;
+				if (a == 1) then (MES("eq-ok"));
+				if (a != 0) then (MES("ne-ok"));
+				if (a >= 1) then (MES("ge-ok"));
+				if (a <= 1) then (MES("le-ok"));
+				if (a > 0) then (MES("gt-ok"));
+				halt.
+		}
+	`
+	it := interpFor(t, src)
+	if err := it.RegisterAtomic("Kick", func(p *manifold.Process, args []Value) {
+		p.Raise("go_on")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	// a = ((7*2)-4)/5 = 2; a = -2+3 = 1.
+	for _, want := range []string{"eq-ok", "ne-ok", "ge-ok", "le-ok", "gt-ok"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in output %q", want, sb.String())
+		}
+	}
+}
+
+func TestSeqOfIfWithoutElse(t *testing.T) {
+	src := `
+		manifold Main() {
+			auto process a is variable(1).
+			begin: if (a < 0) then (MES("neg")); MES("after"); halt.
+		}
+	`
+	it := interpFor(t, src)
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if strings.Contains(sb.String(), "neg") || !strings.Contains(sb.String(), "after") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestRunArityMismatch(t *testing.T) {
+	it := interpFor(t, `manifold Main(process argv) { begin: halt. }`)
+	if err := it.Run("Main"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestRunMannerDirectlyRejected(t *testing.T) {
+	it := interpFor(t, `
+		manner M() { begin: halt. }
+		manifold Main() { begin: halt. }
+	`)
+	if err := it.Run("M"); err == nil {
+		t.Fatal("running a manner as a manifold succeeded")
+	}
+}
+
+func TestUnregisteredAtomicFailsAtInstantiation(t *testing.T) {
+	it := interpFor(t, `
+		manifold W(event) atomic.
+		event done.
+		manifold Main() {
+			auto process w is W(done).
+			begin: halt.
+		}
+	`)
+	// The atomic body is missing; instantiation inside the interpreted
+	// block raises a runtime error, which Run surfaces as an error.
+	done := make(chan error, 1)
+	go func() { done <- it.Run("Main") }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "no registered Go body") {
+			t.Fatalf("err = %v, want unregistered-atomic failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestLabelClosureCrossesManners(t *testing.T) {
+	it := interpFor(t, `
+		event deep_event.
+		manner Inner() {
+			begin: halt.
+			deep_event: halt.
+		}
+		manner Outer() { begin: Inner(). }
+		manifold Main() { begin: Outer(). }
+	`)
+	d := it.decls["Main"]
+	names := it.labelClosure(d)
+	found := false
+	for _, n := range names {
+		if n == "deep_event" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("label closure %v misses deep_event (two manner hops)", names)
+	}
+}
+
+func TestMESWithValues(t *testing.T) {
+	src := `
+		manifold Main() {
+			auto process n is variable(9).
+			begin: MES("n is", n); halt.
+		}
+	`
+	it := interpFor(t, src)
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if !strings.Contains(sb.String(), "9") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestStreamBetweenDeclaredProcesses(t *testing.T) {
+	// A plain (non-&) stream chain with explicit ports.
+	src := `
+		manifold Src(port in p) atomic.
+		manifold Dst(port in p) atomic.
+		manifold Main() {
+			auto process a is Src(0).
+			auto process b is Dst(0).
+			begin: (a.output -> b.input, terminated(b)).
+		}
+	`
+	it := interpFor(t, src)
+	got := ""
+	if err := it.RegisterAtomic("Src", func(p *manifold.Process, args []Value) {
+		p.Output().Write("payload")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.RegisterAtomic("Dst", func(p *manifold.Process, args []Value) {
+		u, ok := p.Input().Read()
+		if ok {
+			got = u.(string)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if got != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,387 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/manifold"
+)
+
+// runWithTimeout guards interpreter tests against deadlocks.
+func runWithTimeout(t *testing.T, d time.Duration, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(d):
+		t.Fatal("interpreter run timed out (deadlock?)")
+	}
+}
+
+func interpFor(t *testing.T, srcs ...string) *Interp {
+	t.Helper()
+	var progs []*Program
+	for i, s := range srcs {
+		p, err := Parse(fmt.Sprintf("src%d.m", i), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	it, err := NewInterp(progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestRunTrivialManifold(t *testing.T) {
+	it := interpFor(t, `manifold Main() { begin: MES("hello"). }`)
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if !strings.Contains(sb.String(), "hello") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestRunUnknownManifold(t *testing.T) {
+	it := interpFor(t, `manifold Main() { begin: halt. }`)
+	if err := it.Run("Ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAtomicRegistrationRequired(t *testing.T) {
+	it := interpFor(t, `
+		manifold W(event) atomic.
+		manifold Main() {
+			process w is W(done).
+			begin: halt.
+		}
+		event done.
+	`)
+	if err := it.RegisterAtomic("Nope", nil); err == nil {
+		t.Fatal("registering unknown atomic succeeded")
+	}
+	if err := it.RegisterAtomic("Main", nil); err == nil {
+		t.Fatal("registering non-atomic succeeded")
+	}
+	if err := it.RegisterAtomic("W", func(p *manifold.Process, args []Value) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineThroughInterpretedCoordinator(t *testing.T) {
+	// A coordinator connects producer -> consumer with a stream and idles;
+	// the producer's death preempts nothing (no label), so Main exits
+	// after its begin completes — here begin just sets up the stream.
+	src := `
+		manifold Producer(port in p) atomic.
+		manifold Consumer(port in p) atomic.
+		manifold Main() {
+			auto process prod is Producer(0).
+			auto process cons is Consumer(0).
+			begin: (prod -> cons, terminated(prod)).
+		}
+	`
+	it := interpFor(t, src)
+	var got []int
+	var mu sync.Mutex
+	if err := it.RegisterAtomic("Producer", func(p *manifold.Process, args []Value) {
+		for i := 0; i < 5; i++ {
+			p.Output().Write(i)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.RegisterAtomic("Consumer", func(p *manifold.Process, args []Value) {
+		for i := 0; i < 5; i++ {
+			u, ok := p.Input().Read()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			got = append(got, u.(int))
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if len(got) != 5 {
+		t.Fatalf("consumer got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestEventDrivenTransition(t *testing.T) {
+	// An atomic pinger raises `ping`; the interpreted coordinator reacts
+	// by transitioning from begin (idling) to the ping state.
+	src := `
+		event ping.
+		manifold Pinger(event) atomic.
+		manifold Main() {
+			auto process p is Pinger(0).
+			begin: terminated(void).
+			ping: MES("got ping"); halt.
+		}
+	`
+	it := interpFor(t, src)
+	if err := it.RegisterAtomic("Pinger", func(p *manifold.Process, args []Value) {
+		p.Raise("ping")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if !strings.Contains(sb.String(), "got ping") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestVariableArithmeticAndIf(t *testing.T) {
+	src := `
+		event tick.
+		manifold Ticker(event) atomic.
+		manifold Main() {
+			auto process n is variable(0).
+			auto process tk is Ticker(0).
+			begin: terminated(void).
+			tick: n = n + 1;
+				MES("counting");
+				if (n >= 3) then (
+					MES("done counting"), halt
+				).
+		}
+	`
+	it := interpFor(t, src)
+	if err := it.RegisterAtomic("Ticker", func(p *manifold.Process, args []Value) {
+		for i := 0; i < 3; i++ {
+			p.Raise("tick")
+			time.Sleep(time.Millisecond)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	out := sb.String()
+	if strings.Count(out, "counting") < 3 || !strings.Contains(out, "done counting") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+// TestVariableIfElseBranch checks the else arm of an interpreted if.
+func TestVariableIfElseBranch(t *testing.T) {
+	src := `
+		event tick.
+		manifold Ticker(event) atomic.
+		manifold Main() {
+			auto process n is variable(5).
+			auto process tk is Ticker(0).
+			begin: terminated(void).
+			tick: if (n < 3) then (
+					MES("low"), halt
+				) else (
+					MES("high"), halt
+				).
+		}
+	`
+	it := interpFor(t, src)
+	if err := it.RegisterAtomic("Ticker", func(p *manifold.Process, args []Value) {
+		p.Raise("tick")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 5*time.Second, func() error { return it.Run("Main") })
+	if !strings.Contains(sb.String(), "high") || strings.Contains(sb.String(), "low") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+// masterSteps implements the behaviour interface of §4.3 as an atomic Go
+// master driving the interpreted ProtocolMW: one pool of n workers, each
+// charged with one integer job.
+func masterSteps(t *testing.T, n int, results *[]int, mu *sync.Mutex) AtomicFunc {
+	return func(p *manifold.Process, args []Value) {
+		p.Observe("a_rendezvous")
+		p.Raise("create_pool") // step 3a
+		for i := 0; i < n; i++ {
+			p.Raise("create_worker") // step 3b
+			ref := p.Input().MustRead().(*manifold.Process)
+			ref.Activate()      // step 3c
+			p.Output().Write(i) // step 3d
+		}
+		for i := 0; i < n; i++ { // step 3f
+			u := p.Port("dataport").MustRead()
+			mu.Lock()
+			*results = append(*results, u.(int))
+			mu.Unlock()
+		}
+		p.Raise("rendezvous")               // step 3g
+		p.Wait(manifold.On("a_rendezvous")) // step 3h
+		p.Raise("finished")                 // step 4
+		_ = t                               // step 5 would follow here
+	}
+}
+
+func workerSteps() AtomicFunc {
+	return func(p *manifold.Process, args []Value) {
+		u := p.Input().MustRead() // worker step 1
+		v := u.(int) * 10         // step 2
+		p.Output().Write(v)       // step 3
+		if ev, ok := args[0].(EventVal); ok {
+			p.Raise(string(ev)) // step 4
+		}
+	}
+}
+
+// TestPaperProtocolRuns executes the paper's protocolMW.m + mainprog.m
+// through the interpreter, with atomic Go master/worker wrappers, and
+// checks that the full master/worker protocol completes with all results
+// delivered.
+func TestPaperProtocolRuns(t *testing.T) {
+	proto := readTestdata(t, "protocolMW.m")
+	main := readTestdata(t, "mainprog.m")
+	it := interpFor(t, proto, main)
+
+	const n = 6
+	var results []int
+	var mu sync.Mutex
+	if err := it.RegisterAtomic("Master", masterSteps(t, n, &results, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.RegisterAtomic("Worker", workerSteps()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	it.Output = &sb
+	runWithTimeout(t, 10*time.Second, func() error { return it.Run("Main", StrVal("argv")) })
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != n {
+		t.Fatalf("got %d results: %v\noutput:\n%s", len(results), results, sb.String())
+	}
+	sort.Ints(results)
+	for i, v := range results {
+		if v != i*10 {
+			t.Fatalf("results = %v", results)
+		}
+	}
+	// The coordinator's MES messages confirm the protocol path: pool
+	// begin, one create_worker per worker, and the rendezvous.
+	out := sb.String()
+	if strings.Count(out, "create_worker: begin") != n {
+		t.Errorf("expected %d create_worker states, output:\n%s", n, out)
+	}
+	if !strings.Contains(out, "rendezvous acknowledged") {
+		t.Errorf("rendezvous never acknowledged:\n%s", out)
+	}
+}
+
+// TestPaperProtocolTwoPools exercises the closing remark of §4.2: a more
+// demanding master raises create_pool again and gets a second pool.
+func TestPaperProtocolTwoPools(t *testing.T) {
+	proto := readTestdata(t, "protocolMW.m")
+	main := readTestdata(t, "mainprog.m")
+	it := interpFor(t, proto, main)
+
+	var total int
+	var mu sync.Mutex
+	master := func(p *manifold.Process, args []Value) {
+		p.Observe("a_rendezvous")
+		for pool := 0; pool < 2; pool++ {
+			p.Raise("create_pool")
+			for i := 0; i < 3; i++ {
+				p.Raise("create_worker")
+				ref := p.Input().MustRead().(*manifold.Process)
+				ref.Activate()
+				p.Output().Write(1)
+			}
+			for i := 0; i < 3; i++ {
+				u := p.Port("dataport").MustRead()
+				mu.Lock()
+				total += u.(int)
+				mu.Unlock()
+			}
+			p.Raise("rendezvous")
+			p.Wait(manifold.On("a_rendezvous"))
+		}
+		p.Raise("finished")
+	}
+	if err := it.RegisterAtomic("Master", master); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.RegisterAtomic("Worker", workerSteps()); err != nil {
+		t.Fatal(err)
+	}
+	runWithTimeout(t, 10*time.Second, func() error { return it.Run("Main", StrVal("argv")) })
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 2*3*10 {
+		t.Fatalf("total = %d, want 60", total)
+	}
+}
+
+// TestEmptyPoolHangsAsInPaper documents a faithfully reproduced quirk of
+// the paper's protocol: the rendezvous state only compares t against now
+// when a death_worker occurrence arrives (protocolMW.m line 42), so a
+// rendezvous over an *empty* pool never completes. (The Go re-engineering
+// in internal/core fixes this by checking t == now before waiting.)
+func TestEmptyPoolHangsAsInPaper(t *testing.T) {
+	proto := readTestdata(t, "protocolMW.m")
+	main := readTestdata(t, "mainprog.m")
+	it := interpFor(t, proto, main)
+	var mu sync.Mutex
+	reached := false
+	master := func(p *manifold.Process, args []Value) {
+		p.Observe("a_rendezvous")
+		p.Raise("create_pool")
+		p.Raise("rendezvous")
+		p.Wait(manifold.On("a_rendezvous"))
+		mu.Lock()
+		reached = true
+		mu.Unlock()
+		p.Raise("finished")
+	}
+	if err := it.RegisterAtomic("Master", master); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.RegisterAtomic("Worker", workerSteps()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = it.Run("Main", StrVal("argv"))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("empty-pool rendezvous completed; the paper's protocol should hang here")
+	case <-time.After(300 * time.Millisecond):
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if reached {
+		t.Fatal("a_rendezvous was raised for an empty pool")
+	}
+	// The blocked goroutines are abandoned; the test binary exits anyway.
+}

@@ -1,0 +1,222 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns MANIFOLD source text into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+	file string
+}
+
+// NewLexer creates a lexer for src; file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1, file: file}
+}
+
+// Lex tokenizes the whole input.
+func Lex(file, src string) ([]Token, error) {
+	lx := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) at() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) {
+		switch r := l.peek(); {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			pos := l.at()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return Token{}, l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return Token{Kind: EOF, Pos: l.at()}, nil
+}
+
+func (l *Lexer) lexToken() (Token, error) {
+	pos := l.at()
+	r := l.peek()
+	switch {
+	case r == '#':
+		// Directive: the whole line (e.g. #include "protocolMW.h").
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			sb.WriteRune(l.advance())
+		}
+		return Token{Kind: DIRECTIVE, Text: strings.TrimSpace(sb.String()), Pos: pos}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			sb.WriteRune(l.advance())
+		}
+		return Token{Kind: IDENT, Text: sb.String(), Pos: pos}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+			// A dot is part of the number only when followed by a digit;
+			// otherwise it is the statement terminator.
+			if l.peek() == '.' && !unicode.IsDigit(l.peek2()) {
+				break
+			}
+			sb.WriteRune(l.advance())
+		}
+		return Token{Kind: NUMBER, Text: sb.String(), Pos: pos}, nil
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf(pos, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				return Token{Kind: STRING, Text: sb.String(), Pos: pos}, nil
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteRune('\n')
+				case 't':
+					sb.WriteRune('\t')
+				case '"', '\\':
+					sb.WriteRune(esc)
+				default:
+					return Token{}, l.errorf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteRune(c)
+		}
+	}
+	// Operators and punctuation.
+	two := func(kind Kind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	}
+	one := func(kind Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: kind, Text: kindNames[kind], Pos: pos}, nil
+	}
+	switch r {
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case ',':
+		return one(COMMA)
+	case '.':
+		return one(DOT)
+	case ';':
+		return one(SEMI)
+	case ':':
+		return one(COLON)
+	case '&':
+		return one(AMP)
+	case '+':
+		return one(PLUS)
+	case '*':
+		return one(STAR)
+	case '/':
+		return one(SLASH)
+	case '-':
+		if l.peek2() == '>' {
+			return two(ARROW, "->")
+		}
+		return one(MINUS)
+	case '=':
+		if l.peek2() == '=' {
+			return two(EQ, "==")
+		}
+		return one(ASSIGN)
+	case '<':
+		if l.peek2() == '=' {
+			return two(LE, "<=")
+		}
+		return one(LT)
+	case '>':
+		if l.peek2() == '=' {
+			return two(GE, ">=")
+		}
+		return one(GT)
+	case '!':
+		if l.peek2() == '=' {
+			return two(NE, "!=")
+		}
+	}
+	return Token{}, l.errorf(pos, "unexpected character %q", r)
+}

@@ -1,0 +1,149 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex("test.m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Kind
+	for _, tok := range toks {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	got := kinds(t, "manifold Main(process argv) { begin: halt. }")
+	want := []Kind{IDENT, IDENT, LPAREN, IDENT, IDENT, RPAREN, LBRACE,
+		IDENT, COLON, IDENT, DOT, RBRACE, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexArrowVsMinus(t *testing.T) {
+	got := kinds(t, "a -> b - c")
+	want := []Kind{IDENT, ARROW, IDENT, MINUS, IDENT, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestLexComparisons(t *testing.T) {
+	got := kinds(t, "t < now <= x >= y == z != w > v")
+	want := []Kind{IDENT, LT, IDENT, LE, IDENT, GE, IDENT, EQ, IDENT, NE, IDENT, GT, IDENT, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `// line comment
+	a /* block
+	comment */ b`
+	got := kinds(t, src)
+	want := []Kind{IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("t.m", "/* open"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex("t.m", `MES("create_worker: begin")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "create_worker: begin" {
+		t.Fatalf("string token = %v", toks[2])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("t.m", `"a\nb\"c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\nb\"c" {
+		t.Fatalf("got %q", toks[0].Text)
+	}
+	if _, err := Lex("t.m", `"unterminated`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLexDirective(t *testing.T) {
+	toks, err := Lex("t.m", "#include \"MBL.h\"\nmanifold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != DIRECTIVE || !strings.Contains(toks[0].Text, "MBL.h") {
+		t.Fatalf("directive token = %v", toks[0])
+	}
+	if toks[1].Kind != IDENT {
+		t.Fatalf("after directive: %v", toks[1])
+	}
+}
+
+func TestLexNumberThenDot(t *testing.T) {
+	// `variable(0).` — the dot terminates the statement, it is not part of
+	// the number.
+	got := kinds(t, "variable(0).")
+	want := []Kind{IDENT, LPAREN, NUMBER, RPAREN, DOT, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("f.m", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("t.m", "a $ b"); err == nil {
+		t.Fatal("expected error for $")
+	}
+}
+
+func TestLexPaperSnippet(t *testing.T) {
+	// A verbatim line from the paper's protocolMW.m.
+	src := "stream KK worker -> master.dataport."
+	got := kinds(t, src)
+	want := []Kind{IDENT, IDENT, IDENT, ARROW, IDENT, DOT, IDENT, DOT, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}

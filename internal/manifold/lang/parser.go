@@ -1,0 +1,808 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the MANIFOLD subset.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+// Parse lexes and parses one source file.
+func Parse(file, src string) (*Program, error) {
+	toks, err := Lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	return p.program()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptIdent(text string) bool {
+	if p.cur().Kind == IDENT && p.cur().Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) isIdent(text string) bool {
+	return p.cur().Kind == IDENT && p.cur().Text == text
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind != IDENT {
+		return Token{}, p.errorf("expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{File: p.file}
+	for {
+		switch {
+		case p.cur().Kind == EOF:
+			return prog, nil
+		case p.cur().Kind == DIRECTIVE:
+			t := p.next()
+			prog.Directives = append(prog.Directives, Directive{Pos: t.Pos, Text: t.Text})
+		default:
+			d, err := p.topDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+		}
+	}
+}
+
+func (p *Parser) topDecl() (*TopDecl, error) {
+	d := &TopDecl{Pos: p.cur().Pos}
+	if p.acceptIdent("export") {
+		d.Export = true
+	}
+	switch {
+	case p.acceptIdent("manifold"):
+		d.Kind = DeclManifold
+	case p.acceptIdent("manner"):
+		d.Kind = DeclManner
+	case p.acceptIdent("event"):
+		d.Kind = DeclEvent
+		names, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		d.Events = names
+		if _, err := p.expect(DOT); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		return nil, p.errorf("expected manifold, manner or event declaration, found %s", p.cur())
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if p.cur().Kind == LPAREN {
+		params, err := p.params()
+		if err != nil {
+			return nil, err
+		}
+		d.Params = params
+	}
+	// Extra port declarations: `port in dataport.` ...
+	for p.isIdent("port") {
+		p.next()
+		in := true
+		switch {
+		case p.acceptIdent("in"):
+		case p.acceptIdent("out"):
+			in = false
+		default:
+			return nil, p.errorf("expected in or out after port")
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d.Ports = append(d.Ports, PortDecl{Pos: pn.Pos, In: in, Name: pn.Text})
+		p.accept(DOT) // each port declaration may end with '.'
+	}
+	// atomic tail or body block.
+	if p.acceptIdent("atomic") {
+		d.Atomic = true
+		if p.cur().Kind == LBRACE {
+			p.next()
+			if !p.acceptIdent("internal") {
+				return nil, p.errorf("expected internal in atomic clause")
+			}
+			p.accept(DOT)
+			if p.acceptIdent("event") {
+				evs, err := p.identList()
+				if err != nil {
+					return nil, err
+				}
+				d.Internal = evs
+			}
+			if _, err := p.expect(RBRACE); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(DOT); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	p.accept(DOT) // optional terminating '.'
+	return d, nil
+}
+
+func (p *Parser) identList() ([]string, error) {
+	var names []string
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+		if !p.accept(COMMA) {
+			return names, nil
+		}
+	}
+}
+
+func (p *Parser) params() ([]Param, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var out []Param
+	if p.accept(RPAREN) {
+		return out, nil
+	}
+	for {
+		prm, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prm)
+		if p.accept(COMMA) {
+			continue
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *Parser) param() (Param, error) {
+	prm := Param{Pos: p.cur().Pos}
+	switch {
+	case p.acceptIdent("event"):
+		prm.Kind = ParamEvent
+		if p.cur().Kind == IDENT && !Keywords[p.cur().Text] {
+			prm.Name = p.next().Text
+		}
+	case p.acceptIdent("process"):
+		prm.Kind = ParamProcess
+		t, err := p.expectIdent()
+		if err != nil {
+			return prm, err
+		}
+		prm.Name = t.Text
+		if p.accept(LT) {
+			ins, err := p.identList()
+			if err != nil {
+				return prm, err
+			}
+			prm.InPorts = ins
+			// The paper writes the separator as both `|` and `/`.
+			if !p.accept(SLASH) {
+				return prm, p.errorf("expected / between input and output ports")
+			}
+			outs, err := p.identList()
+			if err != nil {
+				return prm, err
+			}
+			prm.OutPorts = outs
+			if _, err := p.expect(GT); err != nil {
+				return prm, err
+			}
+		}
+	case p.acceptIdent("manifold"):
+		prm.Kind = ParamManifold
+		t, err := p.expectIdent()
+		if err != nil {
+			return prm, err
+		}
+		prm.Name = t.Text
+		if p.accept(LPAREN) {
+			for !p.accept(RPAREN) {
+				switch {
+				case p.acceptIdent("event"):
+					prm.SubTypes = append(prm.SubTypes, ParamEvent)
+				case p.acceptIdent("process"):
+					prm.SubTypes = append(prm.SubTypes, ParamProcess)
+				case p.cur().Kind == IDENT:
+					p.next()
+					prm.SubTypes = append(prm.SubTypes, ParamUntyped)
+				default:
+					return prm, p.errorf("bad manifold parameter type list")
+				}
+				p.accept(COMMA)
+			}
+		}
+	case p.acceptIdent("port"):
+		in := true
+		switch {
+		case p.acceptIdent("in"):
+		case p.acceptIdent("out"):
+			in = false
+		default:
+			return prm, p.errorf("expected in or out after port")
+		}
+		if in {
+			prm.Kind = ParamPortIn
+		} else {
+			prm.Kind = ParamPortOut
+		}
+		t, err := p.expectIdent()
+		if err != nil {
+			return prm, err
+		}
+		prm.Name = t.Text
+	default:
+		t, err := p.expectIdent()
+		if err != nil {
+			return prm, err
+		}
+		prm.Kind = ParamUntyped
+		prm.Name = t.Text
+	}
+	return prm, nil
+}
+
+// block parses `{ decls states }`.
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	// Local declaration part.
+	for {
+		d, ok, err := p.blockDecl()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		b.Decls = append(b.Decls, d)
+	}
+	// States.
+	for p.cur().Kind != RBRACE {
+		s, err := p.state()
+		if err != nil {
+			return nil, err
+		}
+		b.States = append(b.States, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+// blockDecl parses one local declaration; ok=false when the next tokens
+// start the state part.
+func (p *Parser) blockDecl() (BlockDecl, bool, error) {
+	d := BlockDecl{Pos: p.cur().Pos}
+	switch {
+	case p.isIdent("save"):
+		p.next()
+		d.Kind = BDSave
+		if p.accept(STAR) {
+			d.Names = []string{"*"}
+		} else {
+			names, err := p.identList()
+			if err != nil {
+				return d, false, err
+			}
+			d.Names = names
+		}
+	case p.isIdent("ignore"):
+		p.next()
+		d.Kind = BDIgnore
+		names, err := p.identList()
+		if err != nil {
+			return d, false, err
+		}
+		d.Names = names
+	case p.isIdent("hold"):
+		p.next()
+		d.Kind = BDHold
+		names, err := p.identList()
+		if err != nil {
+			return d, false, err
+		}
+		d.Names = names
+	case p.isIdent("priority"):
+		p.next()
+		d.Kind = BDPriority
+		hi, err := p.expectIdent()
+		if err != nil {
+			return d, false, err
+		}
+		if _, err := p.expect(GT); err != nil {
+			return d, false, err
+		}
+		lo, err := p.expectIdent()
+		if err != nil {
+			return d, false, err
+		}
+		d.Names = []string{hi.Text, lo.Text}
+	case p.isIdent("event") && p.peekN(1).Kind == IDENT && !p.isStateStart(1):
+		p.next()
+		d.Kind = BDEvent
+		names, err := p.identList()
+		if err != nil {
+			return d, false, err
+		}
+		d.Names = names
+	case p.isIdent("auto") || (p.isIdent("process") && p.peekN(1).Kind == IDENT):
+		d.Kind = BDProcess
+		if p.acceptIdent("auto") {
+			d.Auto = true
+		}
+		if !p.acceptIdent("process") {
+			return d, false, p.errorf("expected process after auto")
+		}
+		t, err := p.expectIdent()
+		if err != nil {
+			return d, false, err
+		}
+		d.ProcName = t.Text
+		if !p.acceptIdent("is") {
+			return d, false, p.errorf("expected is in process declaration")
+		}
+		tn, err := p.expectIdent()
+		if err != nil {
+			return d, false, err
+		}
+		d.TypeName = tn.Text
+		if p.accept(LPAREN) {
+			for !p.accept(RPAREN) {
+				e, err := p.expr()
+				if err != nil {
+					return d, false, err
+				}
+				d.Args = append(d.Args, e)
+				p.accept(COMMA)
+			}
+		}
+	case p.isIdent("stream"):
+		p.next()
+		d.Kind = BDStreamType
+		switch {
+		case p.acceptIdent("KK"):
+			d.StreamKK = true
+		case p.acceptIdent("BK"):
+		default:
+			return d, false, p.errorf("expected KK or BK after stream")
+		}
+		se, err := p.streamExpr()
+		if err != nil {
+			return d, false, err
+		}
+		d.Stream = se
+	default:
+		return d, false, nil
+	}
+	if _, err := p.expect(DOT); err != nil {
+		return d, false, err
+	}
+	return d, true, nil
+}
+
+// isStateStart reports whether the token at offset n begins a state label
+// (IDENT [:][,...]) — used to disambiguate `event x.` declarations from an
+// `event:`-labelled state (which does not occur, but keeps errors sane).
+func (p *Parser) isStateStart(n int) bool {
+	return p.peekN(n+1).Kind == COLON
+}
+
+func (p *Parser) state() (*State, error) {
+	s := &State{Pos: p.cur().Pos}
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		l := Label{Pos: t.Pos, Event: t.Text}
+		if p.accept(DOT) {
+			src, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.Source = src.Text
+		}
+		s.Labels = append(s.Labels, l)
+		if p.accept(COMMA) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	body, err := p.stateBody()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	p.accept(DOT) // state terminator (optional after })
+	return s, nil
+}
+
+// stateBody parses a group, a nested block, or a statement sequence.
+func (p *Parser) stateBody() (StateBody, error) {
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.block()
+	default:
+		return p.seq()
+	}
+}
+
+// seq parses `stmt {; stmt}`.
+func (p *Parser) seq() (StateBody, error) {
+	pos := p.cur().Pos
+	var stmts []Stmt
+	for {
+		st, err := p.simple()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+		if !p.accept(SEMI) {
+			break
+		}
+	}
+	if len(stmts) == 1 {
+		if sb, ok := stmts[0].(StateBody); ok {
+			return sb, nil
+		}
+	}
+	return &Seq{Pos: pos, Stmts: stmts}, nil
+}
+
+// group parses `( action {, action} )`.
+func (p *Parser) group() (*Group, error) {
+	lp, err := p.expect(LPAREN)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{Pos: lp.Pos}
+	for {
+		st, err := p.simple()
+		if err != nil {
+			return nil, err
+		}
+		g.Actions = append(g.Actions, st)
+		if p.accept(COMMA) {
+			continue
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+}
+
+// simple parses one statement.
+func (p *Parser) simple() (Stmt, error) {
+	switch {
+	case p.cur().Kind == LPAREN:
+		return p.group()
+	case p.cur().Kind == LBRACE:
+		return p.block()
+	case p.isIdent("if"):
+		return p.ifStmt()
+	case p.isIdent("halt"):
+		t := p.next()
+		return &Halt{Pos: t.Pos}, nil
+	case p.cur().Kind == AMP:
+		// A stream chain starting with a reference: &worker -> master ...
+		return p.streamExpr()
+	case p.cur().Kind == IDENT:
+		// Could be: assignment, call, bare name action, or stream chain.
+		switch p.peekN(1).Kind {
+		case ASSIGN:
+			name := p.next()
+			p.next() // =
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Pos: name.Pos, Name: name.Text, Expr: e}, nil
+		case LPAREN:
+			name := p.next()
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			c := &Call{Pos: name.Pos, Name: name.Text, Args: args}
+			if p.cur().Kind == ARROW {
+				// call result feeding a stream is not supported
+				return nil, p.errorf("stream source cannot be a call")
+			}
+			return c, nil
+		case ARROW:
+			return p.streamExpr()
+		case DOT:
+			// Qualified name: either a stream term (a.b -> ...) or the
+			// statement terminator follows. streamExpr handles the
+			// qualifier lookahead.
+			if p.peekN(2).Kind == IDENT && p.peekN(3).Kind != COLON {
+				return p.streamExpr()
+			}
+			t := p.next()
+			return &NameAction{Pos: t.Pos, Name: t.Text}, nil
+		default:
+			t := p.next()
+			return &NameAction{Pos: t.Pos, Name: t.Text}, nil
+		}
+	}
+	return nil, p.errorf("expected statement, found %s", p.cur())
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if !p.acceptIdent("then") {
+		return nil, p.errorf("expected then")
+	}
+	thenB, err := p.branchBody()
+	if err != nil {
+		return nil, err
+	}
+	st := &If{Pos: t.Pos, Cond: cond, Then: thenB}
+	if p.acceptIdent("else") {
+		elseB, err := p.branchBody()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = elseB
+	}
+	return st, nil
+}
+
+func (p *Parser) branchBody() (StateBody, error) {
+	switch p.cur().Kind {
+	case LPAREN:
+		g, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	case LBRACE:
+		return p.block()
+	default:
+		st, err := p.simple()
+		if err != nil {
+			return nil, err
+		}
+		return &Seq{Stmts: []Stmt{st}}, nil
+	}
+}
+
+func (p *Parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.accept(RPAREN) {
+		return args, nil
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.accept(COMMA) {
+			continue
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+// streamExpr parses `term -> term -> ...`.
+func (p *Parser) streamExpr() (*StreamExpr, error) {
+	se := &StreamExpr{Pos: p.cur().Pos}
+	for {
+		t, err := p.streamTerm()
+		if err != nil {
+			return nil, err
+		}
+		se.Terms = append(se.Terms, t)
+		if !p.accept(ARROW) {
+			break
+		}
+	}
+	if len(se.Terms) < 2 {
+		return nil, p.errorf("stream needs at least two endpoints")
+	}
+	return se, nil
+}
+
+func (p *Parser) streamTerm() (StreamTerm, error) {
+	t := StreamTerm{Pos: p.cur().Pos}
+	if p.accept(AMP) {
+		t.Ref = true
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return t, err
+	}
+	t.Name = id.Text
+	// `.port` qualifier: only when the dot is followed by an identifier
+	// that is not itself a state label (IDENT COLON).
+	if p.cur().Kind == DOT && p.peekN(1).Kind == IDENT && p.peekN(2).Kind != COLON {
+		p.next()
+		pn, _ := p.expectIdent()
+		t.Port = pn.Text
+	}
+	return t, nil
+}
+
+// expr parses comparisons over additive expressions.
+func (p *Parser) expr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case LT, LE, GT, GE, EQ, NE:
+		op := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Pos: op.Pos, Op: op.Text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		op := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.Pos, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == STAR || p.cur().Kind == SLASH {
+		op := p.next()
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: op.Pos, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) primary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case NUMBER:
+		p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &Num{Pos: t.Pos, Value: n}, nil
+	case STRING:
+		p.next()
+		return &Str{Pos: t.Pos, Value: t.Text}, nil
+	case AMP:
+		p.next()
+		x, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: "&", X: x}, nil
+	case MINUS:
+		p.next()
+		x, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: "-", X: x}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LPAREN {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Name{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, p.errorf("expected expression, found %s", p.cur())
+}

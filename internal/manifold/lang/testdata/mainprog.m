@@ -1,0 +1,21 @@
+// mainprog.m
+//
+// The paper's section-5 program: the small MANIFOLD source that changes
+// the original sequential application into a concurrent version. Master
+// and Worker are atomic manifolds — wrappers around the legacy
+// computation, registered from Go via Interp.RegisterAtomic.
+
+#include "protocolMW.h"
+
+manifold Worker(event) atomic.
+
+manifold Master(port in p)
+    port in dataport.
+    atomic {internal. event create_pool, create_worker, rendezvous,
+            a_rendezvous, finished}.
+
+/*****************************************************************/
+manifold Main(process argv)
+{
+    begin: ProtocolMW(Master(argv), Worker).
+}

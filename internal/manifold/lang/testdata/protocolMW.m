@@ -1,0 +1,67 @@
+// protocolMW.m
+//
+// The paper's generic master/worker protocol (SC2004, section 4.2),
+// adapted to the repro subset: the IDLE macro of the original
+// (#define IDLE terminated(void)) is written out, and the port-signature
+// separator is uniformly `/`.
+
+// The extern protocol events (the contents of protocolMW.h in the paper).
+event create_pool, create_worker, rendezvous, a_rendezvous, finished.
+
+/*****************************************************************/
+manner Create_Worker_Pool(
+    process master <input, dataport / output, error>,
+    manifold Worker(event))
+{
+    save *.
+    ignore death_worker.
+
+    auto process now is variable(0).
+    auto process t is variable(0).
+
+    event death_worker.
+
+    priority create_worker > rendezvous.
+
+    begin: (MES("begin"), preemptall, terminated(void)).
+
+    create_worker: {
+        hold death_worker.
+
+        process worker is Worker(death_worker).
+
+        stream KK worker -> master.dataport.
+
+        begin: now = now + 1;
+            (MES("create_worker: begin"),
+             &worker -> master -> worker -> master.dataport,
+             terminated(void)).
+    }.
+
+    rendezvous: {
+        begin: (preemptall, terminated(void)).
+
+        death_worker: t = t + 1;
+            if (t < now) then (
+                post(begin)
+            ) else (
+                post(end)
+            ).
+    }.
+
+    end: (MES("rendezvous acknowledged"), raise(a_rendezvous)).
+}
+
+/*****************************************************************/
+export manner ProtocolMW(
+    process master <input, dataport / output, error>,
+    manifold Worker(event))
+{
+    save *.
+
+    begin: terminated(master).
+
+    create_pool: Create_Worker_Pool(master, Worker); post(begin).
+
+    finished: halt.
+}

@@ -1,0 +1,99 @@
+// Package lang is a front end for a subset of the MANIFOLD coordination
+// language, large enough to express the paper's gluing modules
+// (protocolMW.m and mainprog.m): a lexer, a recursive-descent parser
+// producing an AST, a semantic checker, and a tree-walking interpreter
+// executing programs on the IWIM runtime of internal/manifold. It plays
+// the role of the paper's Mc compiler.
+package lang
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+	// punctuation
+	LBRACE    // {
+	RBRACE    // }
+	LPAREN    // (
+	RPAREN    // )
+	COMMA     // ,
+	DOT       // .
+	SEMI      // ;
+	COLON     // :
+	ARROW     // ->
+	AMP       // &
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	LT        // <
+	GT        // >
+	LE        // <=
+	GE        // >=
+	EQ        // ==
+	NE        // !=
+	DIRECTIVE // #include "..." / #pragma ... (whole line)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	LBRACE: "{", RBRACE: "}", LPAREN: "(", RPAREN: ")", COMMA: ",", DOT: ".",
+	SEMI: ";", COLON: ":", ARROW: "->", AMP: "&", ASSIGN: "=", PLUS: "+",
+	MINUS: "-", STAR: "*", SLASH: "/", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	EQ: "==", NE: "!=", DIRECTIVE: "directive",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, STRING, DIRECTIVE:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Keywords of the subset. They are lexed as IDENT and recognized by the
+// parser, as in MANIFOLD, where e.g. `event` is also a type name.
+var Keywords = map[string]bool{
+	"manifold": true, "manner": true, "event": true, "process": true,
+	"port": true, "in": true, "out": true, "error": true, "atomic": true,
+	"internal": true, "auto": true, "begin": true, "end": true, "save": true,
+	"ignore": true, "hold": true, "priority": true, "is": true, "if": true,
+	"then": true, "else": true, "stream": true, "KK": true, "BK": true,
+	"export": true, "import": true, "void": true, "halt": true,
+	"terminated": true, "preemptall": true, "post": true, "raise": true,
+}

@@ -1,0 +1,294 @@
+// Package manifold is a Go runtime for the IWIM (Idealized Worker
+// Idealized Manager) coordination model underlying the MANIFOLD language of
+// the paper. Its basic concepts are exactly MANIFOLD's:
+//
+//   - Processes are black boxes that read and write only through the ports
+//     in their own bounding walls; they never address each other directly.
+//   - Streams are asynchronous channels connecting an output port of one
+//     process to an input port of another. They are set up from the
+//     outside, by a third party (exogenous coordination). A stream has a
+//     dismantling type: a BK (Break-Keep) stream is disconnected from its
+//     producer when the state that created it is preempted, while a KK
+//     (Keep-Keep) stream survives preemption — the paper uses a KK stream
+//     to keep a remote worker's results flowing to the master.
+//   - Events are broadcast: raising an event makes an occurrence visible in
+//     the event memory of every process observing that event name. A
+//     process reacts by waiting on a prioritized list of labels, which is
+//     how MANIFOLD state transitions are driven.
+//   - Process references are first-class units: a coordinator can send
+//     &worker through a stream, and the receiver can activate it.
+//
+// Processes run as goroutines ("threads bundled in task instances" in
+// MANIFOLD terms); the package is safe for concurrent use.
+package manifold
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Unit is a datum flowing through a stream. Process references (*Process)
+// are legal units, which is how the paper's coordinator ships &worker to
+// the master.
+type Unit any
+
+// StreamType is the dismantling behaviour of a stream.
+type StreamType int
+
+const (
+	// BK (Break-Keep) is the default: on dismantling the stream is broken
+	// at its source — no new units enter — but units already in transit
+	// still reach the consumer.
+	BK StreamType = iota
+	// KK (Keep-Keep) streams survive dismantling at both ends.
+	KK
+)
+
+func (t StreamType) String() string {
+	if t == KK {
+		return "KK"
+	}
+	return "BK"
+}
+
+// Env is one coordination application: a set of processes plus the event
+// bus connecting them.
+type Env struct {
+	mu    sync.Mutex
+	procs []*Process
+	wg    sync.WaitGroup
+}
+
+// NewEnv creates an empty application.
+func NewEnv() *Env { return &Env{} }
+
+// Wait blocks until every activated process has returned.
+func (e *Env) Wait() { e.wg.Wait() }
+
+// Processes returns a snapshot of all created processes.
+func (e *Env) Processes() []*Process {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Process(nil), e.procs...)
+}
+
+// Process is an IWIM process: a named black box with ports, an event
+// memory, and (once activated) a body goroutine.
+type Process struct {
+	name string
+	env  *Env
+
+	mu        sync.Mutex
+	ports     map[string]*Port
+	body      func(*Process)
+	activated bool
+	done      chan struct{}
+
+	memory *EventMemory
+}
+
+// NewProcess creates a process with the standard MANIFOLD ports (input,
+// output, error) plus any extra named ports (e.g. the paper master's
+// "dataport"). The process does not run until Activate is called.
+func (e *Env) NewProcess(name string, body func(*Process), extraPorts ...string) *Process {
+	p := &Process{
+		name:   name,
+		env:    e,
+		ports:  make(map[string]*Port),
+		body:   body,
+		done:   make(chan struct{}),
+		memory: newEventMemory(),
+	}
+	for _, pn := range append([]string{"input", "output", "error"}, extraPorts...) {
+		p.ports[pn] = newPort(p, pn)
+	}
+	e.mu.Lock()
+	e.procs = append(e.procs, p)
+	e.mu.Unlock()
+	return p
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Env returns the application the process belongs to.
+func (p *Process) Env() *Env { return p.env }
+
+func (p *Process) String() string { return fmt.Sprintf("process(%s)", p.name) }
+
+// Port returns the named port, panicking if it does not exist (a port is
+// an opening in the process's own bounding wall, fixed at creation).
+func (p *Process) Port(name string) *Port {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pt, ok := p.ports[name]
+	if !ok {
+		panic(fmt.Sprintf("manifold: process %s has no port %q", p.name, name))
+	}
+	return pt
+}
+
+// Input is shorthand for Port("input").
+func (p *Process) Input() *Port { return p.Port("input") }
+
+// Output is shorthand for Port("output").
+func (p *Process) Output() *Port { return p.Port("output") }
+
+// Activate starts the process body in its own goroutine. Activating twice
+// panics; activating a process with a nil body just marks it terminated.
+func (p *Process) Activate() {
+	p.mu.Lock()
+	if p.activated {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("manifold: process %s activated twice", p.name))
+	}
+	p.activated = true
+	body := p.body
+	p.mu.Unlock()
+
+	p.env.wg.Add(1)
+	go func() {
+		defer p.env.wg.Done()
+		defer close(p.done)
+		if body != nil {
+			body(p)
+		}
+	}()
+}
+
+// Done returns a channel closed when the process body has returned.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// Terminated blocks until the process has terminated (the MANIFOLD
+// primitive terminated(p)).
+func (p *Process) Terminated() { <-p.done }
+
+// Observe declares interest in event names: occurrences of these events
+// raised anywhere in the application are kept in this process's event
+// memory until consumed by Wait. Without a declaration, raised events pass
+// the process by (MANIFOLD processes react only to events they have
+// handling states or save declarations for).
+func (p *Process) Observe(names ...string) {
+	p.memory.observe(names...)
+}
+
+// Raise broadcasts an event occurrence, with this process as its source,
+// to the event memory of every observing process in the application
+// (including, possibly, itself).
+func (p *Process) Raise(event string) {
+	occ := Occurrence{Event: event, Source: p}
+	p.env.mu.Lock()
+	procs := append([]*Process(nil), p.env.procs...)
+	p.env.mu.Unlock()
+	for _, q := range procs {
+		q.memory.deliver(occ)
+	}
+}
+
+// Post puts an occurrence (with this process as source) into this
+// process's own event memory only — MANIFOLD's post primitive, used for
+// self-transitions. The event need not be observed.
+func (p *Process) Post(event string) {
+	p.memory.deliverAlways(Occurrence{Event: event, Source: p})
+}
+
+// Wait blocks until the event memory holds an occurrence matching one of
+// the labels and returns it (removing it from memory). Labels are in
+// priority order: a matching occurrence for labels[0] is preferred over
+// labels[1] even if the latter arrived first — this is MANIFOLD's
+// `priority a > b` declaration.
+func (p *Process) Wait(labels ...Label) Occurrence {
+	return p.memory.wait(labels)
+}
+
+// Label matches event occurrences by name and, optionally, source.
+type Label struct {
+	Event  string
+	Source *Process // nil matches any source
+}
+
+// On is a convenience constructor for a source-agnostic label.
+func On(event string) Label { return Label{Event: event} }
+
+// From is a convenience constructor for a source-filtered label.
+func From(event string, src *Process) Label { return Label{Event: event, Source: src} }
+
+// Occurrence is one raised event instance in an event memory.
+type Occurrence struct {
+	Event  string
+	Source *Process
+}
+
+func (o Occurrence) String() string {
+	src := "?"
+	if o.Source != nil {
+		src = o.Source.name
+	}
+	return fmt.Sprintf("%s@%s", o.Event, src)
+}
+
+// EventMemory is a process's mailbox of pending event occurrences.
+type EventMemory struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	observed map[string]bool
+	pending  []Occurrence
+}
+
+func newEventMemory() *EventMemory {
+	m := &EventMemory{observed: make(map[string]bool)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *EventMemory) observe(names ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range names {
+		m.observed[n] = true
+	}
+}
+
+func (m *EventMemory) deliver(o Occurrence) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.observed[o.Event] {
+		return
+	}
+	m.pending = append(m.pending, o)
+	m.cond.Broadcast()
+}
+
+func (m *EventMemory) deliverAlways(o Occurrence) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending = append(m.pending, o)
+	m.cond.Broadcast()
+}
+
+func (m *EventMemory) wait(labels []Label) Occurrence {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, l := range labels { // label order = priority order
+			for i, o := range m.pending { // FIFO within a label
+				if o.Event == l.Event && (l.Source == nil || l.Source == o.Source) {
+					m.pending = append(m.pending[:i], m.pending[i+1:]...)
+					return o
+				}
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// Pending returns a snapshot of the unconsumed occurrences (for tests and
+// debugging).
+func (m *EventMemory) Pending() []Occurrence {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Occurrence(nil), m.pending...)
+}
+
+// Memory exposes the process's event memory.
+func (p *Process) Memory() *EventMemory { return p.memory }

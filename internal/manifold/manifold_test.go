@@ -1,0 +1,336 @@
+package manifold
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProcessLifecycle(t *testing.T) {
+	env := NewEnv()
+	ran := false
+	p := env.NewProcess("p", func(self *Process) { ran = true })
+	select {
+	case <-p.Done():
+		t.Fatal("process ran before Activate")
+	default:
+	}
+	p.Activate()
+	p.Terminated()
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	env.Wait()
+}
+
+func TestActivateTwicePanics(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("p", nil)
+	p.Activate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Activate()
+}
+
+func TestStandardAndExtraPorts(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("master", nil, "dataport")
+	for _, n := range []string{"input", "output", "error", "dataport"} {
+		if p.Port(n) == nil {
+			t.Fatalf("port %s missing", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown port")
+		}
+	}()
+	p.Port("nonexistent")
+}
+
+func TestStreamDelivers(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	Connect(a.Output(), b.Input(), BK)
+	a.Output().Write(42)
+	u, ok := b.Input().Read()
+	if !ok || u.(int) != 42 {
+		t.Fatalf("read %v, %v; want 42, true", u, ok)
+	}
+}
+
+func TestWriteBeforeConnectIsBuffered(t *testing.T) {
+	// A worker may start producing before the coordinator wires it up;
+	// units written with no stream attached flush on connection.
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	a.Output().Write("early")
+	Connect(a.Output(), b.Input(), BK)
+	u, ok := b.Input().Read()
+	if !ok || u.(string) != "early" {
+		t.Fatalf("buffered unit lost: %v, %v", u, ok)
+	}
+}
+
+func TestBKBreakStopsNewUnitsKeepsDelivered(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	s := Connect(a.Output(), b.Input(), BK)
+	a.Output().Write(1)
+	s.Break()
+	a.Output().Write(2) // goes to pendingOut, not the broken stream
+	if !s.Broken() {
+		t.Fatal("stream not broken")
+	}
+	u, ok := b.Input().Read()
+	if !ok || u.(int) != 1 {
+		t.Fatalf("delivered unit lost after break: %v", u)
+	}
+	if b.Input().Len() != 0 {
+		t.Fatal("unit written after break leaked through")
+	}
+}
+
+func TestScopeDismantleBKvsKK(t *testing.T) {
+	// The paper's create_worker state: master->worker is BK, worker->
+	// master.dataport is KK; preemption must break only the former.
+	env := NewEnv()
+	master := env.NewProcess("master", nil, "dataport")
+	worker := env.NewProcess("worker", nil)
+	var sc Scope
+	mw := sc.Connect(master.Output(), worker.Input(), BK)
+	wm := sc.Connect(worker.Output(), master.Port("dataport"), KK)
+	kept := sc.Dismantle()
+	if !mw.Broken() {
+		t.Error("BK stream survived dismantling")
+	}
+	if wm.Broken() {
+		t.Error("KK stream broken by dismantling")
+	}
+	if len(kept) != 1 || kept[0] != wm {
+		t.Errorf("kept = %v, want the KK stream", kept)
+	}
+	// The surviving KK stream still transports the worker's results.
+	worker.Output().Write("result")
+	u, ok := master.Port("dataport").Read()
+	if !ok || u != "result" {
+		t.Fatalf("KK stream no longer delivers: %v", u)
+	}
+}
+
+func TestBroadcastToMultipleStreams(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	c := env.NewProcess("c", nil)
+	Connect(a.Output(), b.Input(), BK)
+	Connect(a.Output(), c.Input(), BK)
+	a.Output().Write("x")
+	if u, _ := b.Input().Read(); u != "x" {
+		t.Error("b did not receive broadcast unit")
+	}
+	if u, _ := c.Input().Read(); u != "x" {
+		t.Error("c did not receive broadcast unit")
+	}
+}
+
+func TestPortCloseDrains(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	Connect(a.Output(), b.Input(), BK)
+	a.Output().Write(1)
+	b.Input().Close()
+	if u, ok := b.Input().Read(); !ok || u.(int) != 1 {
+		t.Fatalf("pre-close unit not drained: %v %v", u, ok)
+	}
+	if _, ok := b.Input().Read(); ok {
+		t.Fatal("read on drained closed port returned a unit")
+	}
+}
+
+func TestProcessReferenceAsUnit(t *testing.T) {
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	master := env.NewProcess("master", nil)
+	worker := env.NewProcess("worker", func(self *Process) {})
+	Connect(coord.Output(), master.Input(), BK)
+	coord.Output().Write(worker) // &worker flows through the stream
+	u, _ := master.Input().Read()
+	ref := u.(*Process)
+	if ref != worker {
+		t.Fatal("process reference mangled in transit")
+	}
+	ref.Activate()
+	ref.Terminated()
+}
+
+func TestEventBroadcastToObservers(t *testing.T) {
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("create_pool")
+	bystander := env.NewProcess("bystander", nil)
+	master := env.NewProcess("master", nil)
+	master.Raise("create_pool")
+	occ := coord.Wait(On("create_pool"))
+	if occ.Source != master {
+		t.Fatalf("occurrence source = %v, want master", occ.Source)
+	}
+	if n := len(bystander.Memory().Pending()); n != 0 {
+		t.Fatalf("non-observing process accumulated %d occurrences", n)
+	}
+}
+
+func TestWaitPriorityOrder(t *testing.T) {
+	// With both create_worker and rendezvous pending, the prioritized
+	// label list must pick create_worker even though rendezvous arrived
+	// first (the paper's `priority create_worker > rendezvous`).
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("create_worker", "rendezvous")
+	m := env.NewProcess("master", nil)
+	m.Raise("rendezvous")
+	m.Raise("create_worker")
+	occ := coord.Wait(On("create_worker"), On("rendezvous"))
+	if occ.Event != "create_worker" {
+		t.Fatalf("got %v, want create_worker first", occ)
+	}
+	occ = coord.Wait(On("create_worker"), On("rendezvous"))
+	if occ.Event != "rendezvous" {
+		t.Fatalf("got %v, want rendezvous second", occ)
+	}
+}
+
+func TestWaitFIFOWithinLabel(t *testing.T) {
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("death_worker")
+	w1 := env.NewProcess("w1", nil)
+	w2 := env.NewProcess("w2", nil)
+	w1.Raise("death_worker")
+	w2.Raise("death_worker")
+	if occ := coord.Wait(On("death_worker")); occ.Source != w1 {
+		t.Fatalf("first occurrence from %v, want w1", occ.Source)
+	}
+	if occ := coord.Wait(On("death_worker")); occ.Source != w2 {
+		t.Fatalf("second occurrence from %v, want w2", occ.Source)
+	}
+}
+
+func TestWaitSourceFilter(t *testing.T) {
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("finished")
+	m1 := env.NewProcess("m1", nil)
+	m2 := env.NewProcess("m2", nil)
+	m1.Raise("finished")
+	m2.Raise("finished")
+	occ := coord.Wait(From("finished", m2))
+	if occ.Source != m2 {
+		t.Fatalf("source filter ignored: got %v", occ.Source)
+	}
+}
+
+func TestPostIsLocal(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	b.Observe("begin")
+	a.Post("begin") // post goes only to a's own memory
+	if n := len(b.Memory().Pending()); n != 0 {
+		t.Fatalf("post leaked to another process (%d occurrences)", n)
+	}
+	occ := a.Wait(On("begin"))
+	if occ.Event != "begin" {
+		t.Fatalf("got %v", occ)
+	}
+}
+
+func TestWaitBlocksUntilRaise(t *testing.T) {
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("go")
+	m := env.NewProcess("m", nil)
+	got := make(chan Occurrence, 1)
+	go func() { got <- coord.Wait(On("go")) }()
+	select {
+	case <-got:
+		t.Fatal("Wait returned before event was raised")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Raise("go")
+	select {
+	case occ := <-got:
+		if occ.Event != "go" {
+			t.Fatalf("got %v", occ)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Wait never woke up")
+	}
+}
+
+func TestManyWorkersConcurrent(t *testing.T) {
+	// A coordinator-shaped stress test: 50 workers each write a unit and
+	// raise death_worker; a collector must see all 50 of each.
+	env := NewEnv()
+	coord := env.NewProcess("coord", nil)
+	coord.Observe("death_worker")
+	sink := env.NewProcess("sink", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		w := env.NewProcess(fmt.Sprintf("w%d", i), func(self *Process) {
+			self.Output().Write(self.Name())
+			self.Raise("death_worker")
+		})
+		Connect(w.Output(), sink.Input(), KK)
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Activate() }()
+	}
+	wg.Wait()
+	for i := 0; i < 50; i++ {
+		coord.Wait(On("death_worker"))
+		if _, ok := sink.Input().Read(); !ok {
+			t.Fatal("missing unit")
+		}
+	}
+	env.Wait()
+	if sink.Input().Len() != 0 {
+		t.Fatalf("extra units: %d", sink.Input().Len())
+	}
+}
+
+func TestStreamFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	Connect(a.Output(), b.Input(), BK)
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Output().Write(i)
+	}
+	for i := 0; i < n; i++ {
+		u, _ := b.Input().Read()
+		if u.(int) != i {
+			t.Fatalf("unit %d arrived as %v; stream not FIFO", i, u)
+		}
+	}
+}
+
+func TestTryRead(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("p", nil)
+	if _, ok := p.Input().TryRead(); ok {
+		t.Fatal("TryRead on empty port succeeded")
+	}
+	p.Input().deposit(7)
+	if u, ok := p.Input().TryRead(); !ok || u.(int) != 7 {
+		t.Fatalf("TryRead = %v, %v", u, ok)
+	}
+}

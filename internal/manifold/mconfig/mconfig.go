@@ -1,0 +1,147 @@
+// Package mconfig implements the runtime-configuration stage of the
+// MANIFOLD system (the CONFIG tool of §6): the host file format
+//
+//	{host host1 diplice.sen.cwi.nl}
+//	{host host2 alboka.sen.cwi.nl}
+//	{locus mainprog $host1 $host2}
+//
+// and the placement of task instances onto hosts. The locus line states on
+// which machines instances of a task may be started; CONFIG hands them out
+// round-robin as instances are forked during the run.
+package mconfig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a parsed CONFIG input file.
+type Config struct {
+	// Hosts maps host variables to machine names.
+	Hosts map[string]string
+	// Loci maps task names to the ordered machine names (resolved) on
+	// which their instances may run.
+	Loci map[string][]string
+
+	hostOrder []string
+}
+
+// Parse reads a CONFIG host file.
+func Parse(src string) (*Config, error) {
+	c := &Config{Hosts: map[string]string{}, Loci: map[string][]string{}}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			return nil, fmt.Errorf("mconfig: line %d: expected {...}, got %q", ln+1, line)
+		}
+		fields := strings.Fields(strings.TrimSuffix(strings.TrimPrefix(line, "{"), "}"))
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("mconfig: line %d: empty clause", ln+1)
+		}
+		switch fields[0] {
+		case "host":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("mconfig: line %d: host needs variable and machine", ln+1)
+			}
+			if _, dup := c.Hosts[fields[1]]; dup {
+				return nil, fmt.Errorf("mconfig: line %d: host %s redefined", ln+1, fields[1])
+			}
+			c.Hosts[fields[1]] = fields[2]
+			c.hostOrder = append(c.hostOrder, fields[1])
+		case "locus":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("mconfig: line %d: locus needs a task and at least one host", ln+1)
+			}
+			task := fields[1]
+			for _, h := range fields[2:] {
+				name, err := c.resolve(h)
+				if err != nil {
+					return nil, fmt.Errorf("mconfig: line %d: %w", ln+1, err)
+				}
+				c.Loci[task] = append(c.Loci[task], name)
+			}
+		default:
+			return nil, fmt.Errorf("mconfig: line %d: unknown clause %q", ln+1, fields[0])
+		}
+	}
+	return c, nil
+}
+
+// resolve maps a $variable (or literal machine name) to a machine name.
+func (c *Config) resolve(ref string) (string, error) {
+	if !strings.HasPrefix(ref, "$") {
+		return ref, nil
+	}
+	name, ok := c.Hosts[ref[1:]]
+	if !ok {
+		return "", fmt.Errorf("undefined host variable %s", ref)
+	}
+	return name, nil
+}
+
+// HostNames returns the machine names in declaration order.
+func (c *Config) HostNames() []string {
+	out := make([]string, 0, len(c.hostOrder))
+	for _, v := range c.hostOrder {
+		out = append(out, c.Hosts[v])
+	}
+	return out
+}
+
+// Placer hands out hosts for new task instances of one task, round-robin
+// over its locus.
+type Placer struct {
+	hosts []string
+	next  int
+}
+
+// Placer returns a placer for the task, or an error if it has no locus.
+func (c *Config) Placer(task string) (*Placer, error) {
+	hosts, ok := c.Loci[task]
+	if !ok || len(hosts) == 0 {
+		return nil, fmt.Errorf("mconfig: no locus for task %q", task)
+	}
+	return &Placer{hosts: append([]string(nil), hosts...)}, nil
+}
+
+// Next returns the machine for the next fresh task instance.
+func (p *Placer) Next() string {
+	h := p.hosts[p.next%len(p.hosts)]
+	p.next++
+	return h
+}
+
+// Hosts returns the locus machines in order.
+func (p *Placer) Hosts() []string { return append([]string(nil), p.hosts...) }
+
+// PaperConfig returns the CONFIG file from §6 of the paper.
+func PaperConfig() string {
+	return `{host host1 diplice.sen.cwi.nl}
+{host host2 alboka.sen.cwi.nl}
+{host host3 altfluit.sen.cwi.nl}
+{host host4 arghul.sen.cwi.nl}
+{host host5 basfluit.sen.cwi.nl}
+{locus mainprog $host1 $host2 $host3 $host4 $host5}
+`
+}
+
+// PaperMlink returns the MLINK file from §6 of the paper.
+func PaperMlink() string {
+	return `{task *
+    {perpetual}
+    {load 1}
+    {weight Master 1}
+    {weight Worker 1}
+}
+{task mainprog
+    {include mainprog.o}
+    {include protocolMW.o}
+}
+`
+}

@@ -1,0 +1,287 @@
+// Package mlink implements the task-composition stage of the MANIFOLD
+// system: the MLINK input file format of §6 of the paper and the bundling
+// of coordination-level process instances into operating-system level task
+// instances.
+//
+//	{task *
+//	    {perpetual}
+//	    {load 1}
+//	    {weight Master 1}
+//	    {weight Worker 1}
+//	}
+//	{task mainprog
+//	    {include mainprog.o}
+//	    {include protocolMW.o}
+//	}
+//
+// A task is "full" when its load exceeds the declared load; the weight
+// clauses give each manifold's contribution. With {load 1} and weight 1
+// every worker lands in its own task instance (the distributed
+// deployment); raising the load to 6 bundles master and five workers into
+// one task instance (the parallel deployment).
+package mlink
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TaskRule is one {task name ...} clause.
+type TaskRule struct {
+	// Name is the task name; "*" applies to every task.
+	Name      string
+	Perpetual bool
+	// Load is the load at which a task instance is full; 0 means
+	// unlimited.
+	Load int
+	// Weights maps manifold names to their load contribution (default 1).
+	Weights map[string]int
+	// Includes lists object files composed into the task executable.
+	Includes []string
+}
+
+// File is a parsed MLINK input file.
+type File struct {
+	Rules []TaskRule
+}
+
+// sexpr is the brace-tree the MLINK and CONFIG formats share.
+type sexpr struct {
+	atoms []string
+	kids  []*sexpr
+}
+
+// parseSexprs parses a sequence of {...} trees.
+func parseSexprs(src string) ([]*sexpr, error) {
+	toks := tokenize(src)
+	var pos int
+	var parseOne func() (*sexpr, error)
+	parseOne = func() (*sexpr, error) {
+		if pos >= len(toks) || toks[pos] != "{" {
+			return nil, fmt.Errorf("mlink: expected { at token %d", pos)
+		}
+		pos++
+		node := &sexpr{}
+		for pos < len(toks) {
+			switch toks[pos] {
+			case "{":
+				kid, err := parseOne()
+				if err != nil {
+					return nil, err
+				}
+				node.kids = append(node.kids, kid)
+			case "}":
+				pos++
+				return node, nil
+			default:
+				node.atoms = append(node.atoms, toks[pos])
+				pos++
+			}
+		}
+		return nil, fmt.Errorf("mlink: unterminated { group")
+	}
+	var out []*sexpr
+	for pos < len(toks) {
+		if toks[pos] == "#" {
+			pos++
+			continue
+		}
+		n, err := parseOne()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func tokenize(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		// # starts a comment line (the paper numbers lines with #).
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "{", " { ")
+		line = strings.ReplaceAll(line, "}", " } ")
+		out = append(out, strings.Fields(line)...)
+	}
+	return out
+}
+
+// Parse reads an MLINK input file.
+func Parse(src string) (*File, error) {
+	nodes, err := parseSexprs(src)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for _, n := range nodes {
+		if len(n.atoms) < 1 || n.atoms[0] != "task" {
+			return nil, fmt.Errorf("mlink: top-level clause must be {task ...}, got %v", n.atoms)
+		}
+		if len(n.atoms) < 2 {
+			return nil, fmt.Errorf("mlink: task clause missing name")
+		}
+		rule := TaskRule{Name: n.atoms[1], Weights: map[string]int{}}
+		for _, k := range n.kids {
+			if len(k.atoms) == 0 {
+				return nil, fmt.Errorf("mlink: empty clause in task %s", rule.Name)
+			}
+			switch k.atoms[0] {
+			case "perpetual":
+				rule.Perpetual = true
+			case "load":
+				if len(k.atoms) != 2 {
+					return nil, fmt.Errorf("mlink: load needs one number")
+				}
+				v, err := strconv.Atoi(k.atoms[1])
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("mlink: bad load %q", k.atoms[1])
+				}
+				rule.Load = v
+			case "weight":
+				if len(k.atoms) != 3 {
+					return nil, fmt.Errorf("mlink: weight needs manifold and number")
+				}
+				v, err := strconv.Atoi(k.atoms[2])
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("mlink: bad weight %q", k.atoms[2])
+				}
+				rule.Weights[k.atoms[1]] = v
+			case "include":
+				if len(k.atoms) != 2 {
+					return nil, fmt.Errorf("mlink: include needs one file")
+				}
+				rule.Includes = append(rule.Includes, k.atoms[1])
+			default:
+				return nil, fmt.Errorf("mlink: unknown clause %q", k.atoms[0])
+			}
+		}
+		f.Rules = append(f.Rules, rule)
+	}
+	return f, nil
+}
+
+// RuleFor returns the effective rule for a task name: clauses from the
+// wildcard rule overlaid with the task's own rule.
+func (f *File) RuleFor(task string) TaskRule {
+	eff := TaskRule{Name: task, Weights: map[string]int{}}
+	apply := func(r TaskRule) {
+		if r.Perpetual {
+			eff.Perpetual = true
+		}
+		if r.Load != 0 {
+			eff.Load = r.Load
+		}
+		for k, v := range r.Weights {
+			eff.Weights[k] = v
+		}
+		eff.Includes = append(eff.Includes, r.Includes...)
+	}
+	for _, r := range f.Rules {
+		if r.Name == "*" {
+			apply(r)
+		}
+	}
+	for _, r := range f.Rules {
+		if r.Name == task {
+			apply(r)
+		}
+	}
+	return eff
+}
+
+// Weight returns the load contribution of a manifold under a rule
+// (default 1).
+func (r TaskRule) Weight(manifold string) int {
+	if w, ok := r.Weights[manifold]; ok {
+		return w
+	}
+	return 1
+}
+
+// Instance is one task instance produced by the bundler.
+type Instance struct {
+	ID      int
+	Task    string
+	load    int
+	members []string
+	dead    bool
+}
+
+// Load returns the instance's current load.
+func (i *Instance) Load() int { return i.load }
+
+// Members returns the manifold names currently housed.
+func (i *Instance) Members() []string { return append([]string(nil), i.members...) }
+
+// Alive reports whether the instance still exists.
+func (i *Instance) Alive() bool { return !i.dead }
+
+// Bundler assigns process instances to task instances according to the
+// MLINK rules, reproducing the runtime behaviour described in §6: a
+// process goes into a live task instance with spare load if one exists
+// (perpetual instances stay alive at load zero to welcome new workers),
+// otherwise a fresh task instance comes into existence.
+type Bundler struct {
+	file      *File
+	task      string
+	rule      TaskRule
+	instances []*Instance
+	nextID    int
+	forks     int
+}
+
+// NewBundler prepares bundling for the given task name.
+func NewBundler(f *File, task string) *Bundler {
+	return &Bundler{file: f, task: task, rule: f.RuleFor(task)}
+}
+
+// Rule returns the effective rule in force.
+func (b *Bundler) Rule() TaskRule { return b.rule }
+
+// Place assigns a process instance of the given manifold to a task
+// instance, returning it and whether it was freshly created.
+func (b *Bundler) Place(manifold string) (*Instance, bool) {
+	w := b.rule.Weight(manifold)
+	for _, inst := range b.instances {
+		if !inst.dead && (b.rule.Load == 0 || inst.load+w <= b.rule.Load) {
+			inst.load += w
+			inst.members = append(inst.members, manifold)
+			return inst, false
+		}
+	}
+	b.nextID++
+	b.forks++
+	inst := &Instance{ID: b.nextID, Task: b.task, load: w, members: []string{manifold}}
+	b.instances = append(b.instances, inst)
+	return inst, true
+}
+
+// Leave removes a process of the given manifold from its instance. A
+// non-perpetual instance dies at load zero.
+func (b *Bundler) Leave(inst *Instance, manifold string) error {
+	w := b.rule.Weight(manifold)
+	if inst.load < w {
+		return fmt.Errorf("mlink: instance %d load %d below weight %d", inst.ID, inst.load, w)
+	}
+	inst.load -= w
+	for i, m := range inst.members {
+		if m == manifold {
+			inst.members = append(inst.members[:i], inst.members[i+1:]...)
+			break
+		}
+	}
+	if inst.load == 0 && !b.rule.Perpetual {
+		inst.dead = true
+	}
+	return nil
+}
+
+// Instances returns every task instance ever created, dead or alive.
+func (b *Bundler) Instances() []*Instance { return append([]*Instance(nil), b.instances...) }
+
+// Forks returns how many fresh task instances were created.
+func (b *Bundler) Forks() int { return b.forks }

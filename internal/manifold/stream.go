@@ -1,0 +1,244 @@
+package manifold
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Port is an opening in a process's bounding wall. A process reads units
+// from its own ports and writes units to its own ports; it is always a
+// third party that connects ports with streams.
+type Port struct {
+	owner *Process
+	name  string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds units that have arrived for this port (as a sink).
+	queue []Unit
+	// outgoing is the set of streams currently attached with this port as
+	// their source.
+	outgoing []*Stream
+	// pendingOut buffers units written while no stream is attached; they
+	// flush to the first stream that connects (so a worker may start
+	// producing before the coordinator has wired it up).
+	pendingOut []Unit
+	closed     bool
+}
+
+func newPort(owner *Process, name string) *Port {
+	p := &Port{owner: owner, name: name}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Name returns the port name.
+func (pt *Port) Name() string { return pt.name }
+
+// Owner returns the process the port belongs to.
+func (pt *Port) Owner() *Process { return pt.owner }
+
+func (pt *Port) String() string { return fmt.Sprintf("%s.%s", pt.owner.name, pt.name) }
+
+// Write emits a unit through the port: it is replicated onto every stream
+// currently attached to the port as a source. With no stream attached the
+// unit is buffered until a connection is made. Write never blocks
+// indefinitely (streams are asynchronous, unbounded).
+func (pt *Port) Write(u Unit) {
+	pt.mu.Lock()
+	if pt.closed {
+		pt.mu.Unlock()
+		panic(fmt.Sprintf("manifold: write on closed port %s", pt))
+	}
+	streams := append([]*Stream(nil), pt.outgoing...)
+	if len(streams) == 0 {
+		pt.pendingOut = append(pt.pendingOut, u)
+		pt.mu.Unlock()
+		return
+	}
+	pt.mu.Unlock()
+	for _, s := range streams {
+		s.forward(u)
+	}
+}
+
+// Read blocks until a unit arrives at the port and returns it. The second
+// result is false when the port has been closed and drained.
+func (pt *Port) Read() (Unit, bool) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for len(pt.queue) == 0 && !pt.closed {
+		pt.cond.Wait()
+	}
+	if len(pt.queue) == 0 {
+		return nil, false
+	}
+	u := pt.queue[0]
+	pt.queue = pt.queue[1:]
+	return u, true
+}
+
+// MustRead reads a unit and panics if the port is closed — for processes
+// whose protocol guarantees a unit will arrive.
+func (pt *Port) MustRead() Unit {
+	u, ok := pt.Read()
+	if !ok {
+		panic(fmt.Sprintf("manifold: read on closed port %s", pt))
+	}
+	return u
+}
+
+// TryRead returns the next unit without blocking.
+func (pt *Port) TryRead() (Unit, bool) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if len(pt.queue) == 0 {
+		return nil, false
+	}
+	u := pt.queue[0]
+	pt.queue = pt.queue[1:]
+	return u, true
+}
+
+// Close marks the port closed: pending units can still be read; further
+// reads return ok=false, further writes panic.
+func (pt *Port) Close() {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.closed = true
+	pt.cond.Broadcast()
+}
+
+// Len returns the number of queued (unread) units.
+func (pt *Port) Len() int {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return len(pt.queue)
+}
+
+// deposit appends a unit to the port's sink queue.
+func (pt *Port) deposit(u Unit) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.closed {
+		return // unit dropped: consumer is gone
+	}
+	pt.queue = append(pt.queue, u)
+	pt.cond.Broadcast()
+}
+
+// attach registers s as an outgoing stream of the port and flushes any
+// buffered output into it.
+func (pt *Port) attach(s *Stream) {
+	pt.mu.Lock()
+	flush := pt.pendingOut
+	pt.pendingOut = nil
+	pt.outgoing = append(pt.outgoing, s)
+	pt.mu.Unlock()
+	for _, u := range flush {
+		s.forward(u)
+	}
+}
+
+// detach removes s from the port's outgoing streams.
+func (pt *Port) detach(s *Stream) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for i, o := range pt.outgoing {
+		if o == s {
+			pt.outgoing = append(pt.outgoing[:i], pt.outgoing[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stream is an asynchronous channel from a source port to a sink port.
+// Units written to the source are forwarded to the sink's queue; a broken
+// stream forwards nothing, but units already delivered remain readable
+// (disconnection from the producer does not disconnect the consumer).
+type Stream struct {
+	Type StreamType
+	src  *Port
+	dst  *Port
+
+	mu     sync.Mutex
+	broken bool
+}
+
+// Connect creates a stream of the given type from src to dst and attaches
+// it. Buffered output pending at src flushes immediately.
+func Connect(src, dst *Port, typ StreamType) *Stream {
+	s := &Stream{Type: typ, src: src, dst: dst}
+	src.attach(s)
+	return s
+}
+
+// Source returns the producer port.
+func (s *Stream) Source() *Port { return s.src }
+
+// Sink returns the consumer port.
+func (s *Stream) Sink() *Port { return s.dst }
+
+func (s *Stream) forward(u Unit) {
+	s.mu.Lock()
+	broken := s.broken
+	s.mu.Unlock()
+	if broken {
+		return
+	}
+	s.dst.deposit(u)
+}
+
+// Break disconnects the stream from its producer. Units already delivered
+// to the sink remain readable.
+func (s *Stream) Break() {
+	s.mu.Lock()
+	if s.broken {
+		s.mu.Unlock()
+		return
+	}
+	s.broken = true
+	s.mu.Unlock()
+	s.src.detach(s)
+}
+
+// Broken reports whether the stream has been disconnected from its source.
+func (s *Stream) Broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Scope groups the streams constructed while a coordinator is in one
+// state. Preempting the state dismantles the scope: BK streams are broken
+// at their sources, KK streams stay intact — exactly the paper's stream
+// semantics in the create_worker state (`stream KK worker -> master.dataport`).
+type Scope struct {
+	streams []*Stream
+}
+
+// Connect creates a stream inside the scope.
+func (sc *Scope) Connect(src, dst *Port, typ StreamType) *Stream {
+	s := Connect(src, dst, typ)
+	sc.streams = append(sc.streams, s)
+	return s
+}
+
+// Dismantle applies the per-type dismantling rules and empties the scope.
+// KK streams survive and are returned to the caller (they belong to no
+// scope afterwards).
+func (sc *Scope) Dismantle() []*Stream {
+	var kept []*Stream
+	for _, s := range sc.streams {
+		if s.Type == KK {
+			kept = append(kept, s)
+			continue
+		}
+		s.Break()
+	}
+	sc.streams = nil
+	return kept
+}
+
+// Streams returns the streams currently in the scope.
+func (sc *Scope) Streams() []*Stream { return append([]*Stream(nil), sc.streams...) }

@@ -1,0 +1,249 @@
+package mwsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/manifold/mconfig"
+)
+
+func TestRunLevelZero(t *testing.T) {
+	r := Run(PaperConfig(2, 0, 1e-3))
+	if r.Workers != 1 {
+		t.Fatalf("workers = %d, want 1", r.Workers)
+	}
+	// ct is dominated by start-up + one fork (the paper's ~7.7 s floor).
+	if r.ConcurrentSec < 5 || r.ConcurrentSec > 12 {
+		t.Errorf("ct(0) = %g, want the 5-12 s overhead floor", r.ConcurrentSec)
+	}
+	if r.Speedup > 0.01 {
+		t.Errorf("su(0) = %g, want ~0", r.Speedup)
+	}
+	if r.Forks != 1 {
+		t.Errorf("forks = %d, want 1", r.Forks)
+	}
+}
+
+func TestWorkerCountIsTwoLPlusOne(t *testing.T) {
+	for _, l := range []int{0, 1, 4, 9} {
+		r := Run(PaperConfig(2, l, 1e-3))
+		want := 2*l + 1
+		if l == 0 {
+			want = 1
+		}
+		if r.Workers != want {
+			t.Fatalf("level %d: workers = %d, want %d", l, r.Workers, want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(PaperConfig(2, 12, 1e-3))
+	b := Run(PaperConfig(2, 12, 1e-3))
+	if a.ConcurrentSec != b.ConcurrentSec || a.AvgMachines != b.AvgMachines ||
+		a.Forks != b.Forks || a.PeakMachines != b.PeakMachines {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSpeedupCrossoverNearLevelTen(t *testing.T) {
+	// The paper: no gain for l < 10, gain for l >= 10 (su crosses 1 around
+	// level 10). Allow the crossover anywhere in 9..12.
+	var crossed int = -1
+	for l := 5; l <= 13; l++ {
+		r := Run(PaperConfig(2, l, 1e-3))
+		if r.Speedup >= 1 {
+			crossed = l
+			break
+		}
+	}
+	if crossed < 9 || crossed > 12 {
+		t.Fatalf("speedup crossed 1.0 at level %d, want 9..12 (paper: 10)", crossed)
+	}
+}
+
+func TestLevel15MatchesPaperShape(t *testing.T) {
+	r3 := Run(PaperConfig(2, 15, 1e-3))
+	// Paper: st 2019.02, ct 259.69, m 12.2, su 7.8.
+	if math.Abs(r3.SequentialSec-2019.02)/2019.02 > 0.02 {
+		t.Errorf("st = %g, want ~2019", r3.SequentialSec)
+	}
+	if r3.ConcurrentSec < 200 || r3.ConcurrentSec > 320 {
+		t.Errorf("ct = %g, want 200-320 (paper 259.69)", r3.ConcurrentSec)
+	}
+	if r3.Speedup < 6.5 || r3.Speedup > 9.5 {
+		t.Errorf("su = %g, want 6.5-9.5 (paper 7.8)", r3.Speedup)
+	}
+	if r3.AvgMachines < 10 || r3.AvgMachines > 15 {
+		t.Errorf("m = %g, want 10-15 (paper 12.2)", r3.AvgMachines)
+	}
+
+	r4 := Run(PaperConfig(2, 15, 1e-4))
+	if math.Abs(r4.SequentialSec-4118.08)/4118.08 > 0.02 {
+		t.Errorf("st(1e-4) = %g, want ~4118", r4.SequentialSec)
+	}
+	if r4.Speedup < 6.5 || r4.Speedup > 10.5 {
+		t.Errorf("su(1e-4) = %g, want 6.5-10.5 (paper 7.9)", r4.Speedup)
+	}
+}
+
+func TestSpeedupLagsMachines(t *testing.T) {
+	// "the average speedup in a run always lags behind the average number
+	// of machines it uses."
+	for _, l := range []int{10, 12, 14, 15} {
+		r := Run(PaperConfig(2, l, 1e-3))
+		if r.Speedup >= r.AvgMachines {
+			t.Errorf("level %d: su %g >= m %g", l, r.Speedup, r.AvgMachines)
+		}
+	}
+}
+
+func TestMachinesGrowWithLevel(t *testing.T) {
+	prev := 0.0
+	for _, l := range []int{2, 6, 10, 13, 15} {
+		r := Run(PaperConfig(2, l, 1e-3))
+		if r.AvgMachines+0.3 < prev {
+			t.Fatalf("m shrank: level %d has %g < %g", l, r.AvgMachines, prev)
+		}
+		prev = r.AvgMachines
+	}
+}
+
+func TestEbbAndFlowTrace(t *testing.T) {
+	// Figure 1: the machine count expands and shrinks during a level-15
+	// run; the trace must go up, come down before the end, and its
+	// weighted average must match the reported m.
+	r := Run(PaperConfig(2, 15, 1e-3))
+	if len(r.Trace) < 10 {
+		t.Fatalf("trace has only %d points", len(r.Trace))
+	}
+	peakAt := 0.0
+	for _, pt := range r.Trace {
+		if pt.Count == r.PeakMachines {
+			peakAt = pt.T
+			break
+		}
+	}
+	if peakAt >= r.ConcurrentSec*0.9 {
+		t.Errorf("peak reached only at %g of %g: no shrinking phase", peakAt, r.ConcurrentSec)
+	}
+	last := r.Trace[len(r.Trace)-1]
+	if last.Count != 0 {
+		t.Errorf("final machine count %d, want 0 (application exit)", last.Count)
+	}
+}
+
+func TestPerpetualReducesForks(t *testing.T) {
+	cfg := PaperConfig(2, 8, 1e-3)
+	withReuse := Run(cfg)
+	cfg.Perpetual = false
+	without := Run(cfg)
+	if withReuse.Forks >= without.Forks {
+		t.Fatalf("perpetual forks %d >= non-perpetual %d", withReuse.Forks, without.Forks)
+	}
+	if without.Reuses != 0 {
+		t.Fatalf("non-perpetual run reused %d times", without.Reuses)
+	}
+}
+
+func TestBundledParallelModeUsesOneMachinePair(t *testing.T) {
+	// The paper's "{load 6}" change: with the load raised to cover the
+	// whole pool, every worker is bundled into the master's own task
+	// instance — the application runs in parallel (threads in one OS
+	// process) on a single machine, with no remote forks at all.
+	cfg := PaperConfig(2, 5, 1e-3)
+	cfg.MaxLoad = 64
+	r := Run(cfg)
+	if r.PeakMachines != 1 {
+		t.Fatalf("peak machines = %d, want 1 in bundled mode", r.PeakMachines)
+	}
+	if r.Forks != 0 {
+		t.Fatalf("forks = %d, want 0 (workers join the start-up task)", r.Forks)
+	}
+}
+
+func TestIOWorkersShortenHighLevelRuns(t *testing.T) {
+	// §4.1's untried alternative: delegating data movement to I/O workers
+	// removes the transfers from the master's time line, which must not
+	// slow the run down.
+	base := Run(PaperConfig(2, 14, 1e-3))
+	cfg := PaperConfig(2, 14, 1e-3)
+	cfg.IOWorkers = true
+	io := Run(cfg)
+	if io.ConcurrentSec > base.ConcurrentSec {
+		t.Fatalf("I/O workers slowed the run: %g > %g", io.ConcurrentSec, base.ConcurrentSec)
+	}
+}
+
+func TestPoolPerLevelAddsBarrier(t *testing.T) {
+	// Splitting the nested loop into a pool per grid level adds a
+	// rendezvous barrier between the lm = level-1 and lm = level pools, so
+	// the run cannot be faster than the single-pool version.
+	base := Run(PaperConfig(2, 12, 1e-3))
+	cfg := PaperConfig(2, 12, 1e-3)
+	cfg.PoolPerLevel = true
+	split := Run(cfg)
+	if split.ConcurrentSec < base.ConcurrentSec-1e-9 {
+		t.Fatalf("pool-per-level run faster than single pool: %g < %g",
+			split.ConcurrentSec, base.ConcurrentSec)
+	}
+}
+
+func TestNoiseStaysClose(t *testing.T) {
+	// With the multi-user noise model the numbers must stay in the same
+	// ballpark — the paper averaged five runs precisely because the
+	// perturbations were minor.
+	base := Run(PaperConfig(2, 12, 1e-3))
+	noisy := RunNoisy(PaperConfig(2, 12, 1e-3), 42, 0.05)
+	if math.Abs(noisy.ConcurrentSec-base.ConcurrentSec)/base.ConcurrentSec > 0.15 {
+		t.Fatalf("5%% noise moved ct from %g to %g", base.ConcurrentSec, noisy.ConcurrentSec)
+	}
+}
+
+func TestFromDeploymentPaperFiles(t *testing.T) {
+	cfg, err := FromDeployment(PaperConfig(2, 2, 1e-3),
+		mconfig.PaperMlink(), mconfig.PaperConfig(), "mainprog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Perpetual || cfg.MaxLoad != 1 {
+		t.Fatalf("deployment rule not applied: %+v", cfg)
+	}
+	if len(cfg.LociNames) != 5 || cfg.LociNames[0] != "diplice.sen.cwi.nl" {
+		t.Fatalf("loci = %v", cfg.LociNames)
+	}
+	r := Run(cfg)
+	if r.Workers != 5 {
+		t.Fatalf("workers = %d", r.Workers)
+	}
+	// With only five locus machines and a master, no more than six task
+	// instances can be simultaneously alive.
+	if r.PeakMachines > 6 {
+		t.Fatalf("peak = %d, want <= 6 (5 loci + master)", r.PeakMachines)
+	}
+}
+
+func TestFromDeploymentParallelBundling(t *testing.T) {
+	ml := "{task * {perpetual} {load 64}}"
+	cfg, err := FromDeployment(PaperConfig(2, 3, 1e-3), ml, mconfig.PaperConfig(), "mainprog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(cfg)
+	if r.Forks != 0 || r.PeakMachines != 1 {
+		t.Fatalf("bundled run: forks=%d peak=%d, want 0/1", r.Forks, r.PeakMachines)
+	}
+}
+
+func TestFromDeploymentErrors(t *testing.T) {
+	base := PaperConfig(2, 1, 1e-3)
+	if _, err := FromDeployment(base, "{bad", mconfig.PaperConfig(), "mainprog"); err == nil {
+		t.Error("bad mlink accepted")
+	}
+	if _, err := FromDeployment(base, mconfig.PaperMlink(), "{bad", "mainprog"); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := FromDeployment(base, mconfig.PaperMlink(), mconfig.PaperConfig(), "ghost"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}

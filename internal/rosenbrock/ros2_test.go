@@ -1,0 +1,313 @@
+package rosenbrock
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// scalarSystem is u' = lambda*u + g(t), with Jacobian [lambda].
+type scalarSystem struct {
+	lambda float64
+	g      func(t float64) float64
+	jac    *linalg.CSR
+}
+
+func newScalar(lambda float64, g func(float64) float64) *scalarSystem {
+	b := linalg.NewBuilder(1, 1)
+	b.Add(0, 0, lambda)
+	return &scalarSystem{lambda: lambda, g: g, jac: b.Build()}
+}
+
+func (s *scalarSystem) N() int { return 1 }
+func (s *scalarSystem) F(t float64, u, out linalg.Vector, ops *linalg.Ops) {
+	gv := 0.0
+	if s.g != nil {
+		gv = s.g(t)
+	}
+	out[0] = s.lambda*u[0] + gv
+	ops.Add(3)
+}
+func (s *scalarSystem) Jacobian() *linalg.CSR { return s.jac }
+
+func TestDecayAccuracy(t *testing.T) {
+	sys := newScalar(-2, nil)
+	u := linalg.Vector{1}
+	st, err := Integrate(sys, u, 0, 1, Config{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2)
+	if math.Abs(u[0]-want) > 1e-5 {
+		t.Fatalf("u(1) = %g, want %g (err %g, steps %d)", u[0], want, u[0]-want, st.Steps)
+	}
+	if st.Steps == 0 {
+		t.Fatal("no steps taken")
+	}
+}
+
+func TestTimeDependentSource(t *testing.T) {
+	// u' = -u + cos(t), u(0)=0 -> u = (sin t + cos t - e^{-t})/2.
+	sys := newScalar(-1, math.Cos)
+	u := linalg.Vector{0}
+	if _, err := Integrate(sys, u, 0, 2, Config{Tol: 1e-7}); err != nil {
+		t.Fatal(err)
+	}
+	want := (math.Sin(2) + math.Cos(2) - math.Exp(-2)) / 2
+	if math.Abs(u[0]-want) > 1e-5 {
+		t.Fatalf("u(2) = %g, want %g", u[0], want)
+	}
+}
+
+func TestExactForLinearInTime(t *testing.T) {
+	// u' = 1 (g(t)=1, lambda=0): the trapezoidal weights of ROS2 integrate
+	// constants exactly; the error estimate is zero so steps grow to the
+	// clamp.
+	sys := newScalar(0, func(float64) float64 { return 1 })
+	u := linalg.Vector{0}
+	st, err := Integrate(sys, u, 0, 10, Config{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]-10) > 1e-9 {
+		t.Fatalf("u(10) = %g, want 10", u[0])
+	}
+	if st.Rejected != 0 {
+		t.Errorf("rejected %d steps on an exactly-representable problem", st.Rejected)
+	}
+}
+
+func TestToleranceControlsError(t *testing.T) {
+	// Tighter tolerance must give smaller error and more steps (the
+	// mechanism behind the paper's 1.0e-3 vs 1.0e-4 run pairs).
+	want := math.Exp(-2)
+	var errs []float64
+	var steps []int
+	for _, tol := range []float64{1e-3, 1e-5, 1e-7} {
+		sys := newScalar(-2, nil)
+		u := linalg.Vector{1}
+		st, err := Integrate(sys, u, 0, 1, Config{Tol: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, math.Abs(u[0]-want))
+		steps = append(steps, st.Steps)
+	}
+	if !(errs[0] > errs[1] && errs[1] > errs[2]) {
+		t.Errorf("errors %v not decreasing with tolerance", errs)
+	}
+	if !(steps[0] < steps[1] && steps[1] < steps[2]) {
+		t.Errorf("steps %v not increasing with tolerance", steps)
+	}
+}
+
+func TestSecondOrderConvergence(t *testing.T) {
+	// With a fixed step (Tol huge so nothing is rejected, H0 set, clamp
+	// prevents growth? -- instead emulate fixed step by tiny span), verify
+	// global error ~ O(h^2) by comparing two tolerance-driven runs is
+	// indirect; here we directly check order by halving H0 on a single
+	// step: local error of one ROS2 step is O(tau^3).
+	lerr := func(tau float64) float64 {
+		sys := newScalar(-1, nil)
+		u := linalg.Vector{1}
+		// One step exactly: set Tol so large that the step is accepted.
+		_, err := Integrate(sys, u, 0, tau, Config{Tol: 1e6, H0: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(u[0] - math.Exp(-tau))
+	}
+	e1 := lerr(0.2)
+	e2 := lerr(0.1)
+	ratio := e1 / e2
+	// O(tau^3) local error -> ratio ~ 8; allow slack.
+	if ratio < 5 || ratio > 12 {
+		t.Fatalf("local error ratio %g (e1=%g e2=%g), want ~8 (third-order local)", ratio, e1, e2)
+	}
+}
+
+func TestStiffStability(t *testing.T) {
+	// Very stiff decay: an explicit method with these step counts would
+	// explode; ROS2 (L-stable) must stay bounded and accurate.
+	sys := newScalar(-1e6, func(t float64) float64 { return 1e6 * math.Sin(t) })
+	u := linalg.Vector{1}
+	st, err := Integrate(sys, u, 0, 1, Config{Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quasi-steady solution ~ sin(t) for t >> 1e-6.
+	if math.Abs(u[0]-math.Sin(1)) > 1e-3 {
+		t.Fatalf("u(1) = %g, want ~sin(1)=%g", u[0], math.Sin(1))
+	}
+	// Order reduction on the stiff source makes the controller take many
+	// small steps (global error O(tau) here), but an explicit method would
+	// need tau < 2/|lambda| = 2e-6, i.e. >500k steps. L-stability keeps the
+	// count four orders of magnitude lower.
+	if st.Steps > 50_000 {
+		t.Fatalf("stiff problem took %d steps; L-stability not effective", st.Steps)
+	}
+	if st.Rejected > st.Steps {
+		t.Fatalf("rejected %d > accepted %d", st.Rejected, st.Steps)
+	}
+}
+
+func TestZeroSpanNoWork(t *testing.T) {
+	sys := newScalar(-1, nil)
+	u := linalg.Vector{1}
+	st, err := Integrate(sys, u, 3, 3, Config{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 0 || u[0] != 1 {
+		t.Fatalf("zero-span integration did work: %+v, u=%v", st, u)
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	sys := newScalar(-1, nil)
+	if _, err := Integrate(sys, linalg.Vector{1}, 1, 0, Config{Tol: 1e-6}); err == nil {
+		t.Error("t1 < t0 accepted")
+	}
+	if _, err := Integrate(sys, linalg.Vector{1}, 0, 1, Config{Tol: 0}); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestMaxStepsEnforced(t *testing.T) {
+	sys := newScalar(-1, nil)
+	u := linalg.Vector{1}
+	_, err := Integrate(sys, u, 0, 1e6, Config{Tol: 1e-10, MaxSteps: 5})
+	if err == nil {
+		t.Fatal("expected ErrTooManySteps")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sys := newScalar(-2, nil)
+	u := linalg.Vector{1}
+	st, err := Integrate(sys, u, 0, 1, Config{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FEvals != 2*(st.Steps+st.Rejected) {
+		t.Errorf("FEvals = %d, want 2*(steps+rejected) = %d", st.FEvals, 2*(st.Steps+st.Rejected))
+	}
+	if st.Ops.Flops == 0 {
+		t.Error("no flops accounted")
+	}
+}
+
+// diffusion1D is the method-of-lines heat equation with exact solution
+// e^{-pi^2 t} sin(pi x): a real PDE-shaped system exercising the BiCGStab
+// stage solves.
+type diffusion1D struct {
+	n   int
+	jac *linalg.CSR
+}
+
+func newDiffusion1D(n int) *diffusion1D {
+	h := 1.0 / float64(n+1)
+	b := linalg.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, -2/(h*h))
+		if i > 0 {
+			b.Add(i, i-1, 1/(h*h))
+		}
+		if i < n-1 {
+			b.Add(i, i+1, 1/(h*h))
+		}
+	}
+	return &diffusion1D{n: n, jac: b.Build()}
+}
+
+func (d *diffusion1D) N() int { return d.n }
+func (d *diffusion1D) F(t float64, u, out linalg.Vector, ops *linalg.Ops) {
+	d.jac.MulVec(out, u, ops)
+}
+func (d *diffusion1D) Jacobian() *linalg.CSR { return d.jac }
+
+func TestHeatEquation(t *testing.T) {
+	n := 63
+	sys := newDiffusion1D(n)
+	h := 1.0 / float64(n+1)
+	u := linalg.NewVector(n)
+	for i := range u {
+		u[i] = math.Sin(math.Pi * float64(i+1) * h)
+	}
+	st, err := Integrate(sys, u, 0, 0.1, Config{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decay := math.Exp(-math.Pi * math.Pi * 0.1)
+	maxErr := 0.0
+	for i := range u {
+		want := decay * math.Sin(math.Pi*float64(i+1)*h)
+		if e := math.Abs(u[i] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 5e-4 {
+		t.Fatalf("heat equation max error %g (steps %d, liniters %d)", maxErr, st.Steps, st.LinIters)
+	}
+	if st.LinIters == 0 {
+		t.Error("expected BiCGStab iterations on a nontrivial system")
+	}
+}
+
+func TestGMRESSolverMatchesBiCGStab(t *testing.T) {
+	// The inner solver choice must not change the integration result
+	// beyond the linear tolerance.
+	n := 31
+	run := func(s LinearSolver) linalg.Vector {
+		sys := newDiffusion1D(n)
+		h := 1.0 / float64(n+1)
+		u := linalg.NewVector(n)
+		for i := range u {
+			u[i] = math.Sin(math.Pi * float64(i+1) * h)
+		}
+		if _, err := Integrate(sys, u, 0, 0.05, Config{Tol: 1e-6, Solver: s}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		return u
+	}
+	a := run(BiCGStab)
+	b := run(GMRES)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-7 {
+			t.Fatalf("solvers diverge at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLinearSolverString(t *testing.T) {
+	if BiCGStab.String() != "BiCGStab" || GMRES.String() != "GMRES" {
+		t.Fatalf("%v %v", BiCGStab, GMRES)
+	}
+}
+
+func TestILUSolverMatchesBiCGStab(t *testing.T) {
+	n := 31
+	run := func(s LinearSolver) linalg.Vector {
+		sys := newDiffusion1D(n)
+		h := 1.0 / float64(n+1)
+		u := linalg.NewVector(n)
+		for i := range u {
+			u[i] = math.Sin(math.Pi * float64(i+1) * h)
+		}
+		if _, err := Integrate(sys, u, 0, 0.05, Config{Tol: 1e-6, Solver: s}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		return u
+	}
+	a := run(BiCGStab)
+	b := run(ILU)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-7 {
+			t.Fatalf("solvers diverge at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if ILU.String() != "ILU-BiCGStab" {
+		t.Fatalf("String() = %q", ILU.String())
+	}
+}

@@ -1,0 +1,422 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Simulated processes are goroutines that run one at a time under the
+// control of a scheduler, advancing a shared virtual clock. The kernel is
+// deterministic: given the same program, every run produces the same event
+// ordering (ties in time are broken by a monotonically increasing sequence
+// number).
+//
+// The package is the substrate that stands in for real elapsed time in the
+// cluster experiments: computation and communication delays become Hold
+// calls, and contention for machines and network links is expressed with
+// Resource and Store.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time = float64
+
+// Infinity is a time later than any event the kernel will ever schedule.
+const Infinity Time = math.MaxFloat64
+
+// killed is the sentinel panic value used to unwind blocked processes when
+// the environment shuts down.
+type killed struct{}
+
+// event is a scheduled wake-up of a process or a function call.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // earliest time, if any
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].t, true
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Spawn, then call Run.
+// An Env must not be shared between operating-system threads while Run is
+// executing; all interaction with it happens from simulated processes.
+type Env struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	yield   chan struct{} // handed a token whenever a process blocks or ends
+	procs   []*Proc
+	blocked map[*Proc]string // procs waiting on a condition (not in queue)
+	dead    bool
+}
+
+// NewEnv returns an empty simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues fn to run at time t (>= now).
+func (e *Env) schedule(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+}
+
+// Proc is a simulated process. Its body runs in its own goroutine but only
+// one process executes at a time; every blocking call (Hold, Resource
+// acquisition, Store access, ...) hands control back to the scheduler.
+type Proc struct {
+	Name   string
+	env    *Env
+	resume chan struct{}
+	done   bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process executing body and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a
+// running process.
+func (e *Env) Spawn(name string, body func(*Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a process that starts at time t (>= now).
+func (e *Env) SpawnAt(t Time, name string, body func(*Proc)) *Proc {
+	p := &Proc{Name: name, env: e, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.schedule(t, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); ok {
+						p.done = true
+						e.yield <- struct{}{} // hand control back to Shutdown
+						return
+					}
+					panic(r)
+				}
+			}()
+			<-p.resume
+			if e.dead {
+				panic(killed{})
+			}
+			body(p)
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+	return p
+}
+
+// pause blocks the calling process until the scheduler resumes it.
+// why describes what the process is waiting for (used in deadlock reports).
+func (p *Proc) pause(why string) {
+	p.env.blocked[p] = why
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.env.dead {
+		panic(killed{})
+	}
+}
+
+// wake moves a blocked process back onto the event queue at the current
+// time. It must only be called from inside the scheduler (i.e. from another
+// running process or an event function).
+func (p *Proc) wake() {
+	delete(p.env.blocked, p)
+	p.env.schedule(p.env.now, func() {
+		p.resume <- struct{}{}
+		<-p.env.yield
+	})
+}
+
+// Hold suspends the process for d seconds of virtual time.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative hold: %g", d))
+	}
+	e := p.env
+	e.schedule(e.now+d, func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+	e.yield <- struct{}{}
+	<-p.resume
+	if e.dead {
+		panic(killed{})
+	}
+}
+
+// Run executes scheduled events in time order until the queue is empty,
+// then returns the final clock value. Processes still blocked on a
+// condition when the queue drains are reported by Blocked.
+func (e *Env) Run() Time { return e.RunUntil(Infinity) }
+
+// RunUntil executes events with time <= limit and returns the clock value
+// (the time of the last executed event, or limit if events remain).
+func (e *Env) RunUntil(limit Time) Time {
+	for {
+		t, ok := e.queue.peek()
+		if !ok {
+			return e.now
+		}
+		if t > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+}
+
+// Blocked returns a description of every process that is still waiting on a
+// condition (sorted by name). A non-empty result after Run means the model
+// deadlocked or was abandoned mid-wait.
+func (e *Env) Blocked() []string {
+	var out []string
+	for p, why := range e.blocked {
+		out = append(out, fmt.Sprintf("%s: %s", p.Name, why))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shutdown unwinds every blocked or scheduled process so their goroutines
+// exit. The environment must not be used afterwards. It is safe to call
+// when nothing is blocked.
+func (e *Env) Shutdown() {
+	e.dead = true
+	for p := range e.blocked {
+		delete(e.blocked, p)
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	// Drain remaining timed events (held processes, pending spawns): each
+	// resumed process observes e.dead and unwinds via the killed sentinel.
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		ev.fn()
+	}
+}
+
+// waiter is an entry in a FIFO wait list.
+type waiter struct {
+	p   *Proc
+	n   int // amount requested (Resource) — unused elsewhere
+	seq int64
+}
+
+// fifo is a FIFO list of blocked processes.
+type fifo struct {
+	list []waiter
+}
+
+func (f *fifo) push(w waiter) { f.list = append(f.list, w) }
+func (f *fifo) empty() bool   { return len(f.list) == 0 }
+func (f *fifo) peek() waiter  { return f.list[0] }
+func (f *fifo) pop() waiter   { w := f.list[0]; f.list = f.list[1:]; return w }
+func (f *fifo) len() int      { return len(f.list) }
+func (f *fifo) remove(p *Proc) {
+	for i, w := range f.list {
+		if w.p == p {
+			f.list = append(f.list[:i], f.list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resource is a counted resource with FIFO discipline, e.g. a CPU (capacity
+// 1) or a bounded pool.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  fifo
+	// usage integrates inUse over time for utilisation reporting.
+	lastT    Time
+	busyArea float64
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+func (r *Resource) account() {
+	r.busyArea += float64(r.inUse) * (r.env.now - r.lastT)
+	r.lastT = r.env.now
+}
+
+// Utilisation returns the time-averaged fraction of capacity in use since
+// the start of the simulation.
+func (r *Resource) Utilisation() float64 {
+	r.account()
+	if r.env.now == 0 {
+		return 0
+	}
+	return r.busyArea / (float64(r.capacity) * r.env.now)
+}
+
+// Acquire blocks the process until n units are available, then takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d from resource %q of capacity %d", n, r.name, r.capacity))
+	}
+	if r.waiters.empty() && r.inUse+n <= r.capacity {
+		r.account()
+		r.inUse += n
+		return
+	}
+	r.env.seq++
+	r.waiters.push(waiter{p: p, n: n, seq: r.env.seq})
+	p.pause("acquire " + r.name)
+}
+
+// Release returns n units and wakes waiting processes in FIFO order.
+func (r *Resource) Release(n int) {
+	r.account()
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: resource %q released below zero", r.name))
+	}
+	for !r.waiters.empty() && r.inUse+r.waiters.peek().n <= r.capacity {
+		w := r.waiters.pop()
+		r.account()
+		r.inUse += w.n
+		w.p.wake()
+	}
+}
+
+// Store is an unbounded FIFO queue of values with blocking Get, usable as a
+// mailbox between simulated processes.
+type Store[T any] struct {
+	env     *Env
+	name    string
+	items   []T
+	waiters fifo
+}
+
+// NewStore creates an empty store.
+func NewStore[T any](env *Env, name string) *Store[T] {
+	return &Store[T]{env: env, name: name}
+}
+
+// Len returns the number of queued items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put appends v and wakes the longest-waiting getter, if any. It never
+// blocks and may be called from event functions as well as processes.
+func (s *Store[T]) Put(v T) {
+	s.items = append(s.items, v)
+	if !s.waiters.empty() {
+		s.waiters.pop().p.wake()
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the store is
+// empty.
+func (s *Store[T]) Get(p *Proc) T {
+	for len(s.items) == 0 {
+		s.env.seq++
+		s.waiters.push(waiter{p: p, seq: s.env.seq})
+		p.pause("get " + s.name)
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	// If items remain and other getters wait, pass the baton.
+	if len(s.items) > 0 && !s.waiters.empty() {
+		s.waiters.pop().p.wake()
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (s *Store[T]) TryGet() (T, bool) {
+	var zero T
+	if len(s.items) == 0 {
+		return zero, false
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	return v, true
+}
+
+// Signal is a broadcast condition: Wait blocks until the next Fire.
+type Signal struct {
+	env     *Env
+	name    string
+	waiters fifo
+	fired   int
+}
+
+// NewSignal creates a signal.
+func NewSignal(env *Env, name string) *Signal {
+	return &Signal{env: env, name: name}
+}
+
+// Wait blocks the process until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	s.env.seq++
+	s.waiters.push(waiter{p: p, seq: s.env.seq})
+	p.pause("wait " + s.name)
+}
+
+// Fire wakes every process currently waiting and returns how many were
+// woken.
+func (s *Signal) Fire() int {
+	n := s.waiters.len()
+	for !s.waiters.empty() {
+		s.waiters.pop().p.wake()
+	}
+	s.fired++
+	return n
+}
+
+// Fired returns how many times the signal has fired.
+func (s *Signal) Fired() int { return s.fired }

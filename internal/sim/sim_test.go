@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+	if got := e.Run(); got != 0 {
+		t.Fatalf("Run() with no events = %g, want 0", got)
+	}
+}
+
+func TestHoldAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.Hold(2.5)
+		p.Hold(1.5)
+		at = p.Now()
+	})
+	end := e.Run()
+	if at != 4.0 {
+		t.Errorf("process observed t=%g, want 4.0", at)
+	}
+	if end != 4.0 {
+		t.Errorf("Run() = %g, want 4.0", end)
+	}
+}
+
+func TestZeroHoldIsLegal(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.Spawn("p", func(p *Proc) {
+		p.Hold(0)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("process did not complete after Hold(0)")
+	}
+}
+
+func TestNegativeHoldPanics(t *testing.T) {
+	e := NewEnv()
+	var recovered any
+	e.Spawn("p", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		p.Hold(-1)
+	})
+	e.Run()
+	if recovered == nil {
+		t.Fatal("Hold(-1) did not panic")
+	}
+}
+
+func TestSpawnAtStartsLater(t *testing.T) {
+	e := NewEnv()
+	var start Time
+	e.SpawnAt(10, "late", func(p *Proc) { start = p.Now() })
+	e.Run()
+	if start != 10 {
+		t.Fatalf("late process started at %g, want 10", start)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	// Two processes holding identical durations must interleave in spawn
+	// order, every run.
+	run := func() []string {
+		e := NewEnv()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, fmt.Sprintf("%s@%g", name, p.Now()))
+					p.Hold(1)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: log[%d] = %q, want %q", trial, i, got[i], first[i])
+			}
+		}
+	}
+	want := []string{"a@0", "b@0", "c@0", "a@1", "b@1", "c@1", "a@2", "b@2", "c@2"}
+	for i, w := range want {
+		if first[i] != w {
+			t.Fatalf("log[%d] = %q, want %q", i, first[i], w)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEnv()
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Hold(3)
+		p.Env().Spawn("child", func(c *Proc) {
+			c.Hold(2)
+			childAt = c.Now()
+		})
+		p.Hold(10)
+	})
+	e.Run()
+	if childAt != 5 {
+		t.Fatalf("child finished at %g, want 5", childAt)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEnv()
+	steps := 0
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Hold(1)
+			steps++
+		}
+	})
+	got := e.RunUntil(10.5)
+	if got != 10.5 {
+		t.Errorf("RunUntil = %g, want 10.5", got)
+	}
+	if steps != 10 {
+		t.Errorf("steps = %d, want 10", steps)
+	}
+	e.Shutdown()
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEnv()
+	cpu := NewResource(e, "cpu", 1)
+	var order []string
+	worker := func(name string, hold Time) func(*Proc) {
+		return func(p *Proc) {
+			cpu.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Hold(hold)
+			order = append(order, name+"-")
+			cpu.Release(1)
+		}
+	}
+	e.Spawn("a", worker("a", 5))
+	e.Spawn("b", worker("b", 3))
+	e.Spawn("c", worker("c", 1))
+	end := e.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q (full: %v)", i, order[i], want[i], order)
+		}
+	}
+	if end != 9 {
+		t.Errorf("end time = %g, want 9", end)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "r", 2)
+	var maxInUse int
+	for i := 0; i < 6; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Acquire(p, 1)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Hold(1)
+			r.Release(1)
+		})
+	}
+	end := e.Run()
+	if maxInUse != 2 {
+		t.Errorf("max in use = %d, want 2", maxInUse)
+	}
+	if end != 3 {
+		t.Errorf("end = %g, want 3 (6 unit jobs on 2 servers)", end)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "r", 1)
+	var got []int
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Hold(10)
+		r.Release(1)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.SpawnAt(Time(i+1), fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Acquire(p, 1)
+			got = append(got, i)
+			r.Release(1)
+		})
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("grant order %v not FIFO", got)
+		}
+	}
+}
+
+func TestResourceUtilisation(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "r", 1)
+	e.Spawn("p", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Hold(5)
+		r.Release(1)
+		p.Hold(5)
+	})
+	e.Run()
+	if u := r.Utilisation(); math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("utilisation = %g, want 0.5", u)
+	}
+}
+
+func TestReleaseBelowZeroPanics(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Release(1)
+}
+
+func TestStoreFIFO(t *testing.T) {
+	e := NewEnv()
+	s := NewStore[int](e, "s")
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			s.Put(i)
+			p.Hold(1)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, s.Get(p))
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestStoreBlocksWhenEmpty(t *testing.T) {
+	e := NewEnv()
+	s := NewStore[string](e, "s")
+	var when Time
+	e.Spawn("consumer", func(p *Proc) {
+		s.Get(p)
+		when = p.Now()
+	})
+	e.SpawnAt(7, "producer", func(p *Proc) { s.Put("x") })
+	e.Run()
+	if when != 7 {
+		t.Fatalf("consumer resumed at %g, want 7", when)
+	}
+}
+
+func TestStoreTryGet(t *testing.T) {
+	e := NewEnv()
+	s := NewStore[int](e, "s")
+	if _, ok := s.TryGet(); ok {
+		t.Fatal("TryGet on empty store returned ok")
+	}
+	s.Put(42)
+	v, ok := s.TryGet()
+	if !ok || v != 42 {
+		t.Fatalf("TryGet = %d, %v; want 42, true", v, ok)
+	}
+}
+
+func TestStoreMultipleConsumers(t *testing.T) {
+	e := NewEnv()
+	s := NewStore[int](e, "s")
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			for j := 0; j < 4; j++ {
+				s.Get(p)
+				counts[i]++
+			}
+		})
+	}
+	e.Spawn("producer", func(p *Proc) {
+		for j := 0; j < 12; j++ {
+			s.Put(j)
+			p.Hold(1)
+		}
+	})
+	e.Run()
+	total := counts[0] + counts[1] + counts[2]
+	if total != 12 {
+		t.Fatalf("consumed %d items, want 12 (counts %v, blocked %v)", total, counts, e.Blocked())
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEnv()
+	sig := NewSignal(e, "go")
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	e.SpawnAt(5, "firer", func(p *Proc) {
+		if n := sig.Fire(); n != 4 {
+			t.Errorf("Fire woke %d, want 4", n)
+		}
+	})
+	e.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+	if sig.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", sig.Fired())
+	}
+}
+
+func TestBlockedReportsDeadlock(t *testing.T) {
+	e := NewEnv()
+	s := NewStore[int](e, "mailbox")
+	e.Spawn("stuck", func(p *Proc) { s.Get(p) })
+	e.Run()
+	b := e.Blocked()
+	if len(b) != 1 {
+		t.Fatalf("Blocked() = %v, want one entry", b)
+	}
+	e.Shutdown()
+	if len(e.Blocked()) != 0 {
+		t.Fatal("Blocked() non-empty after Shutdown")
+	}
+}
+
+func TestShutdownUnwindsHeldProcesses(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("sleeper", func(p *Proc) { p.Hold(1e9) })
+	e.RunUntil(10)
+	e.Shutdown() // must not hang or panic
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) { p.Hold(5) })
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.SpawnAt(1, "bad", func(*Proc) {})
+}
+
+// Property: for any sequence of non-negative holds, the final clock equals
+// their sum (one process).
+func TestPropHoldSum(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		e := NewEnv()
+		var want float64
+		durations := make([]float64, len(raw))
+		for i, r := range raw {
+			durations[i] = float64(r) / 16.0
+			want += durations[i]
+		}
+		e.Spawn("p", func(p *Proc) {
+			for _, d := range durations {
+				p.Hold(d)
+			}
+		})
+		got := e.Run()
+		return math.Abs(got-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: n unit-length jobs on a resource of capacity c finish at
+// ceil(n/c) regardless of spawn interleaving details.
+func TestPropResourceMakespan(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		c := int(cRaw%8) + 1
+		e := NewEnv()
+		r := NewResource(e, "r", c)
+		for i := 0; i < n; i++ {
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				r.Acquire(p, 1)
+				p.Hold(1)
+				r.Release(1)
+			})
+		}
+		end := e.Run()
+		want := math.Ceil(float64(n) / float64(c))
+		return math.Abs(end-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a store delivers every item exactly once, in FIFO order for a
+// single consumer.
+func TestPropStoreDeliversAll(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		e := NewEnv()
+		s := NewStore[int](e, "s")
+		var got []int
+		e.Spawn("c", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				got = append(got, s.Get(p))
+			}
+		})
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				s.Put(i)
+				if i%3 == 0 {
+					p.Hold(0.5)
+				}
+			}
+		})
+		e.Run()
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

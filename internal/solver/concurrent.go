@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/pde"
+	"repro/internal/rosenbrock"
+)
+
+// Job is the unit of information a worker needs to do its job: which grid
+// to solve and with what parameters. The master writes it to its own
+// output port; the coordinator's stream carries it to the worker.
+type Job struct {
+	Grid grid.Grid
+	Prob *pde.Problem
+	Tol  float64
+	TEnd float64
+	Lin  rosenbrock.LinearSolver
+}
+
+// jobResult is the unit a worker writes back through the KK stream to the
+// master's dataport.
+type jobResult struct {
+	res Result
+	err error
+}
+
+// Concurrent runs the restructured application: the master performs all
+// the computation of the sequential version except the Subsolve work,
+// which it delegates to a pool of workers under the master/worker protocol
+// of internal/core. Workers run concurrently (as goroutines — MANIFOLD
+// threads); the results are combined in the same family order as the
+// sequential version, so the output is bit-for-bit identical.
+func Concurrent(p Params) (*Output, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	fam := grid.Family(p.Root, p.Level)
+	index := make(map[grid.Grid]int, len(fam))
+	for i, g := range fam {
+		index[g] = i
+	}
+	results := make([]Result, len(fam))
+	var masterErr error
+
+	core.Run(func(m *core.Master) {
+		// Step 2: initialization work happened in the caller (parameter
+		// validation, family layout). Step 3: one pool for all grids of
+		// the nested loop, one worker per grid.
+		m.CreatePool()
+		for _, g := range fam {
+			m.CreateWorker()
+			m.Send(Job{Grid: g, Prob: p.Problem, Tol: p.Tol, TEnd: p.TEnd, Lin: p.Solver})
+		}
+		// Step 3f: collect results (they arrive in completion order).
+		for range fam {
+			switch r := m.ReadResult().(type) {
+			case jobResult:
+				if r.err != nil {
+					if masterErr == nil {
+						masterErr = r.err
+					}
+					continue
+				}
+				i, ok := index[r.res.Grid]
+				if !ok {
+					masterErr = fmt.Errorf("solver: result for unexpected grid %v", r.res.Grid)
+					continue
+				}
+				results[i] = r.res
+			case core.WorkerFailure:
+				if masterErr == nil {
+					masterErr = r
+				}
+			default:
+				masterErr = fmt.Errorf("solver: unexpected unit %T on dataport", r)
+			}
+		}
+		// Steps 3g/3h and 4.
+		m.Rendezvous()
+		m.Finished()
+	}, func(w *core.Worker) {
+		// Worker steps 1-3; death_worker (step 4) is raised by the
+		// protocol wrapper when this function returns.
+		job := w.Read().(Job)
+		res, err := SubsolveWith(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin)
+		w.Write(jobResult{res: res, err: err})
+	})
+
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	// Step 5: the master's final sequential computation — the
+	// prolongation (combination) work.
+	return combine(p, results)
+}

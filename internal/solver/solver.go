@@ -1,0 +1,173 @@
+// Package solver is the Go port of the paper's legacy application: a
+// sequential sparse-grid code for a time-dependent advection-diffusion
+// problem. Its structure deliberately mirrors the schematized C program of
+// §3 of the paper:
+//
+//	root  = refinement level of the coarsest grid   (argv[1])
+//	level = additional refinement above root        (argv[2])
+//	tol   = tolerance of the integrator             (argv[3])
+//
+//	initialization;
+//	for lm = level-1 .. level
+//	    for l = 0 .. lm
+//	        subsolve(l, lm-l)        // the heavy computational work
+//	prolongation onto the finest grid used
+//
+// Subsolve reads and writes data only of its own grid, which is exactly the
+// concurrent property the paper's restructuring exploits; the concurrent
+// driver in this package delegates the Subsolve calls to workers
+// coordinated by the master/worker protocol of internal/core.
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/pde"
+	"repro/internal/rosenbrock"
+)
+
+// DefaultTEnd is the integration horizon of the transport problem.
+const DefaultTEnd = 0.25
+
+// DefaultEvalCap bounds the refinement of the evaluation grid the sparse-
+// grid combination is prolongated onto, so that paper-scale levels do not
+// materialize astronomically fine uniform grids.
+const DefaultEvalCap = 5
+
+// Params mirrors the command line of the legacy program.
+type Params struct {
+	Root  int     // refinement level of the coarsest grid
+	Level int     // additional refinement above the root level
+	Tol   float64 // integrator tolerance (the paper uses 1.0e-3 and 1.0e-4)
+
+	// TEnd is the end time of the simulation; 0 means DefaultTEnd.
+	TEnd float64
+	// Problem is the continuous problem; nil means pde.PaperProblem().
+	Problem *pde.Problem
+	// EvalCap caps the evaluation-grid refinement; 0 means DefaultEvalCap.
+	EvalCap int
+	// Solver selects the inner linear solver of the Rosenbrock stages;
+	// the zero value is BiCGStab.
+	Solver rosenbrock.LinearSolver
+}
+
+func (p Params) withDefaults() Params {
+	if p.TEnd == 0 {
+		p.TEnd = DefaultTEnd
+	}
+	if p.Problem == nil {
+		p.Problem = pde.PaperProblem()
+	}
+	if p.EvalCap == 0 {
+		p.EvalCap = DefaultEvalCap
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Root < 1 {
+		return fmt.Errorf("solver: root %d < 1 (need interior points on the coarsest grid)", p.Root)
+	}
+	if p.Level < 0 {
+		return fmt.Errorf("solver: level %d < 0", p.Level)
+	}
+	if p.Tol <= 0 {
+		return fmt.Errorf("solver: tolerance %g must be positive", p.Tol)
+	}
+	return nil
+}
+
+// EvalGrid returns the uniform grid the combination is evaluated on.
+func (p Params) EvalGrid() grid.Grid {
+	p = p.withDefaults()
+	e := p.Level
+	if e > p.EvalCap {
+		e = p.EvalCap
+	}
+	return grid.Grid{Root: p.Root, L1: e, L2: e}
+}
+
+// Result is the outcome of one Subsolve call: the interior solution on one
+// grid at TEnd, plus the cost statistics that calibrate the work model.
+type Result struct {
+	Grid  grid.Grid
+	U     linalg.Vector
+	Stats rosenbrock.Stats
+}
+
+// Subsolve performs the heavy computational work on grid g: it assembles
+// the advection-diffusion discretization, integrates from 0 to tEnd with
+// the adaptive Rosenbrock solver (building and solving a linear system
+// every stage) and returns the interior solution. It touches no state
+// outside its own grid.
+func Subsolve(g grid.Grid, p *pde.Problem, tol, tEnd float64) (Result, error) {
+	return SubsolveWith(g, p, tol, tEnd, rosenbrock.BiCGStab)
+}
+
+// SubsolveWith is Subsolve with an explicit choice of inner linear solver.
+func SubsolveWith(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver) (Result, error) {
+	d := pde.NewDisc(g, p)
+	u := d.InitialInterior()
+	stats, err := rosenbrock.Integrate(d, u, 0, tEnd, rosenbrock.Config{Tol: tol, Solver: lin})
+	if err != nil {
+		return Result{}, fmt.Errorf("solver: subsolve %v: %w", g, err)
+	}
+	return Result{Grid: g, U: u, Stats: stats}, nil
+}
+
+// Output is the end product of a run: the combined (prolongated) solution
+// on the evaluation grid plus the per-grid results in family order.
+type Output struct {
+	Params   Params
+	Combined *grid.Field
+	Results  []Result
+	// TotalFlops sums the floating-point work of all Subsolve calls.
+	TotalFlops int64
+}
+
+// combine prolongates the per-grid solutions and applies the combination
+// formula. Results must be in Family order so that summation order — and
+// therefore floating-point rounding — is identical between the sequential
+// and concurrent versions.
+func combine(p Params, results []Result) (*Output, error) {
+	p = p.withDefaults()
+	fam := grid.Family(p.Root, p.Level)
+	if len(results) != len(fam) {
+		return nil, fmt.Errorf("solver: %d results for family of %d", len(results), len(fam))
+	}
+	out := &Output{Params: p}
+	var fields []*grid.Field
+	for i, r := range results {
+		if r.Grid != fam[i] {
+			return nil, fmt.Errorf("solver: result %d is for %v, want %v", i, r.Grid, fam[i])
+		}
+		d := pde.NewDisc(r.Grid, p.Problem)
+		fields = append(fields, d.FieldFromInterior(r.U, p.TEnd))
+		out.TotalFlops += r.Stats.Ops.Flops
+	}
+	out.Combined = grid.Combine(fields, p.Level, p.EvalGrid())
+	out.Results = results
+	return out, nil
+}
+
+// Sequential runs the legacy program unchanged: the nested loop calls
+// Subsolve grid by grid, then the prolongation work combines the coarse
+// approximations. This is the baseline the paper measures as "st".
+func Sequential(p Params) (*Output, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, g := range grid.Family(p.Root, p.Level) {
+		r, err := SubsolveWith(g, p.Problem, p.Tol, p.TEnd, p.Solver)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return combine(p, results)
+}

@@ -1,0 +1,172 @@
+// Package trace produces and parses the chronological output format of a
+// distributed MANIFOLD run, as printed in §6 of the paper. Each message
+// carries a label telling "who is printing, what, where and when":
+//
+//	bumpa.sen.cwi.nl 262146 140 1048087412 175834
+//	 mainprog Master(port in) ResSourceCode.c 136 -> Welcome
+//
+// i.e. host, task-instance id, process-instance id, a timestamp as seconds
+// and microseconds since the Unix epoch, then the task name, the manifold
+// name, the source file and line where the message was produced, and the
+// message itself.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Entry is one trace message.
+type Entry struct {
+	Host     string
+	TaskID   int
+	ProcID   int
+	Sec      int64
+	Usec     int64
+	Task     string
+	Manifold string
+	File     string
+	Line     int
+	Msg      string
+}
+
+// Time returns the timestamp in (fractional) seconds.
+func (e Entry) Time() float64 { return float64(e.Sec) + float64(e.Usec)/1e6 }
+
+// Format renders the entry in the paper's two-line layout.
+func (e Entry) Format() string {
+	return fmt.Sprintf("%s %d %d %d %d\n %s %s %s %d -> %s",
+		e.Host, e.TaskID, e.ProcID, e.Sec, e.Usec,
+		e.Task, e.Manifold, e.File, e.Line, e.Msg)
+}
+
+// Parse decodes one two-line message produced by Format.
+func Parse(s string) (Entry, error) {
+	var e Entry
+	lines := strings.SplitN(strings.TrimSpace(s), "\n", 2)
+	if len(lines) != 2 {
+		return e, fmt.Errorf("trace: message has %d lines, want 2", len(lines))
+	}
+	head := strings.Fields(lines[0])
+	if len(head) != 5 {
+		return e, fmt.Errorf("trace: label has %d fields, want 5", len(head))
+	}
+	e.Host = head[0]
+	var err error
+	if e.TaskID, err = strconv.Atoi(head[1]); err != nil {
+		return e, fmt.Errorf("trace: task id: %w", err)
+	}
+	if e.ProcID, err = strconv.Atoi(head[2]); err != nil {
+		return e, fmt.Errorf("trace: process id: %w", err)
+	}
+	if e.Sec, err = strconv.ParseInt(head[3], 10, 64); err != nil {
+		return e, fmt.Errorf("trace: seconds: %w", err)
+	}
+	if e.Usec, err = strconv.ParseInt(head[4], 10, 64); err != nil {
+		return e, fmt.Errorf("trace: microseconds: %w", err)
+	}
+	body := strings.TrimSpace(lines[1])
+	arrow := strings.Index(body, " -> ")
+	if arrow < 0 {
+		return e, fmt.Errorf("trace: missing -> separator")
+	}
+	e.Msg = body[arrow+4:]
+	fields := strings.Fields(body[:arrow])
+	if len(fields) < 4 {
+		return e, fmt.Errorf("trace: body has %d fields before ->, want >= 4", len(fields))
+	}
+	// The manifold name may contain spaces ("Master(port in)"): the task
+	// name is the first field, the file and line are the last two, and the
+	// manifold name is everything in between.
+	e.Task = fields[0]
+	e.File = fields[len(fields)-2]
+	if e.Line, err = strconv.Atoi(fields[len(fields)-1]); err != nil {
+		return e, fmt.Errorf("trace: line number: %w", err)
+	}
+	e.Manifold = strings.Join(fields[1:len(fields)-2], " ")
+	return e, nil
+}
+
+// Logger emits entries to a writer, in order, safely from many goroutines.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Epoch is added to entry times so the output resembles the paper's
+	// absolute Unix timestamps.
+	Epoch int64
+	log   []Entry
+}
+
+// NewLogger creates a logger writing to w (which may be nil to only
+// collect entries).
+func NewLogger(w io.Writer, epoch int64) *Logger {
+	return &Logger{w: w, Epoch: epoch}
+}
+
+// Log records an entry, stamping Sec/Usec from t (seconds since the run
+// started) plus the epoch.
+func (l *Logger) Log(t float64, e Entry) {
+	e.Sec = l.Epoch + int64(t)
+	e.Usec = int64((t - float64(int64(t))) * 1e6)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.log = append(l.log, e)
+	if l.w != nil {
+		fmt.Fprintln(l.w, e.Format())
+	}
+}
+
+// Entries returns the recorded entries in emission order.
+func (l *Logger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.log...)
+}
+
+// MachineEbbFlow reconstructs the number of machines in use over time from
+// Welcome/Bye messages, exactly the way the paper built Figure 1 from the
+// chronological output.
+func MachineEbbFlow(entries []Entry) []struct {
+	T     float64
+	Count int
+} {
+	type ev struct {
+		t     float64
+		delta int
+	}
+	active := map[string]int{} // host -> processes currently on it
+	var evs []ev
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time() < sorted[j].Time() })
+	var out []struct {
+		T     float64
+		Count int
+	}
+	machines := 0
+	for _, e := range sorted {
+		switch {
+		case strings.Contains(e.Msg, "Welcome"):
+			if active[e.Host] == 0 {
+				machines++
+			}
+			active[e.Host]++
+		case strings.Contains(e.Msg, "Bye"):
+			active[e.Host]--
+			if active[e.Host] == 0 {
+				machines--
+			}
+		default:
+			continue
+		}
+		out = append(out, struct {
+			T     float64
+			Count int
+		}{e.Time(), machines})
+	}
+	_ = evs
+	return out
+}

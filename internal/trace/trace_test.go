@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatMatchesPaperLayout(t *testing.T) {
+	e := Entry{
+		Host: "bumpa.sen.cwi.nl", TaskID: 262146, ProcID: 140,
+		Sec: 1048087412, Usec: 175834,
+		Task: "mainprog", Manifold: "Master(port in)",
+		File: "ResSourceCode.c", Line: 136, Msg: "Welcome",
+	}
+	got := e.Format()
+	want := "bumpa.sen.cwi.nl 262146 140 1048087412 175834\n mainprog Master(port in) ResSourceCode.c 136 -> Welcome"
+	if got != want {
+		t.Fatalf("Format:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := Entry{
+		Host: "basfluit.sen.cwi.nl", TaskID: 1572865, ProcID: 79,
+		Sec: 1048087412, Usec: 275851,
+		Task: "mainprog", Manifold: "Worker(event)",
+		File: "ResSourceCode.c", Line: 351, Msg: "Welcome",
+	}
+	parsed, err := Parse(orig.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != orig {
+		t.Fatalf("round trip changed entry:\n%+v\n%+v", parsed, orig)
+	}
+}
+
+func TestParsePaperOutput(t *testing.T) {
+	// Verbatim lines from the paper's §6 output.
+	msg := "arghul.sen.cwi.nl 1310721 79 1048087412 385644\n mainprog Worker(event) ResSourceCode.c 351 -> Welcome"
+	e, err := Parse(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Host != "arghul.sen.cwi.nl" || e.TaskID != 1310721 || e.ProcID != 79 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if e.Manifold != "Worker(event)" || e.Line != 351 || e.Msg != "Welcome" {
+		t.Fatalf("parsed %+v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"one line only",
+		"host 1 2 3\n body without arrow",
+		"host x 2 3 4\n a b c 5 -> m",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLoggerCollectsInOrder(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, 1048087412)
+	l.Log(0.1, Entry{Host: "a", Task: "t", Manifold: "M", File: "f.c", Line: 1, Msg: "Welcome"})
+	l.Log(0.5, Entry{Host: "a", Task: "t", Manifold: "M", File: "f.c", Line: 2, Msg: "Bye"})
+	es := l.Entries()
+	if len(es) != 2 {
+		t.Fatalf("%d entries", len(es))
+	}
+	if es[0].Sec != 1048087412 || es[0].Usec != 100000 {
+		t.Fatalf("timestamp %d.%06d", es[0].Sec, es[0].Usec)
+	}
+	if !strings.Contains(sb.String(), "-> Welcome") {
+		t.Fatal("writer did not receive formatted entries")
+	}
+}
+
+func TestMachineEbbFlow(t *testing.T) {
+	mk := func(host string, tsec int64, msg string) Entry {
+		return Entry{Host: host, Sec: tsec, Msg: msg}
+	}
+	entries := []Entry{
+		mk("m1", 0, "Welcome"), // master machine busy: 1
+		mk("w1", 1, "Welcome"), // 2
+		mk("w2", 2, "Welcome"), // 3
+		mk("w1", 3, "Bye"),     // 2
+		mk("w1", 4, "Welcome"), // 3 (reused)
+		mk("w1", 5, "Bye"),     // 2
+		mk("w2", 6, "Bye"),     // 1
+		mk("m1", 7, "Bye"),     // 0
+	}
+	flow := MachineEbbFlow(entries)
+	wantCounts := []int{1, 2, 3, 2, 3, 2, 1, 0}
+	if len(flow) != len(wantCounts) {
+		t.Fatalf("%d points, want %d", len(flow), len(wantCounts))
+	}
+	peak := 0
+	for i, f := range flow {
+		if f.Count != wantCounts[i] {
+			t.Fatalf("point %d count %d, want %d", i, f.Count, wantCounts[i])
+		}
+		if f.Count > peak {
+			peak = f.Count
+		}
+	}
+	if peak != 3 {
+		t.Fatalf("peak %d, want 3", peak)
+	}
+}

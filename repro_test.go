@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/manifold"
+	"repro/internal/manifold/lang"
+	"repro/internal/pde"
+	"repro/internal/solver"
+)
+
+// TestFullPaperPipeline runs the complete renovation exactly as the paper
+// deployed it: the MANIFOLD gluing modules (protocolMW.m + mainprog.m) are
+// executed by this repository's interpreter; the Master and Worker atomics
+// are wrappers around the legacy computation (solver.Subsolve); and the
+// per-grid results delivered through the coordinator's streams must be
+// bit-for-bit identical to the purely sequential run.
+func TestFullPaperPipeline(t *testing.T) {
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join("internal", "manifold", "lang", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	proto, err := lang.Parse("protocolMW.m", read("protocolMW.m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := lang.Parse("mainprog.m", read("mainprog.m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := lang.NewInterp(proto, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := solver.Params{Root: 2, Level: 2, Tol: 1e-3}
+	fam := grid.Family(params.Root, params.Level)
+	results := map[grid.Grid]solver.Result{}
+	var mu sync.Mutex
+
+	// The Master atomic: the behaviour interface of §4.3 wrapped around
+	// the legacy main program (minus the subsolve work).
+	err = it.RegisterAtomic("Master", func(p *manifold.Process, args []lang.Value) {
+		p.Observe("a_rendezvous")
+		p.Raise("create_pool")
+		for _, g := range fam {
+			p.Raise("create_worker")
+			ref := p.Input().MustRead().(*manifold.Process)
+			ref.Activate()
+			p.Output().Write(solver.Job{Grid: g, Prob: pde.PaperProblem(), Tol: params.Tol, TEnd: solver.DefaultTEnd})
+		}
+		for range fam {
+			r := p.Port("dataport").MustRead().(solver.Result)
+			mu.Lock()
+			results[r.Grid] = r
+			mu.Unlock()
+		}
+		p.Raise("rendezvous")
+		p.Wait(manifold.On("a_rendezvous"))
+		p.Raise("finished")
+		// Step 5 (prolongation) happens below, after the run.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Worker atomic: the subsolve wrapper.
+	err = it.RegisterAtomic("Worker", func(p *manifold.Process, args []lang.Value) {
+		job := p.Input().MustRead().(solver.Job)
+		prob := job.Prob
+		r, err := solver.Subsolve(job.Grid, prob, job.Tol, job.TEnd)
+		if err != nil {
+			t.Errorf("subsolve %v: %v", job.Grid, err)
+		}
+		p.Output().Write(r)
+		if ev, ok := args[0].(lang.EventVal); ok {
+			p.Raise(string(ev))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- it.Run("Main", lang.StrVal("argv")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("interpreted pipeline timed out")
+	}
+
+	seq, err := solver.Sequential(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != len(fam) {
+		t.Fatalf("got %d grid results, want %d", len(results), len(fam))
+	}
+	for _, want := range seq.Results {
+		got, ok := results[want.Grid]
+		if !ok {
+			t.Fatalf("no result for %v", want.Grid)
+		}
+		for i := range want.U {
+			if got.U[i] != want.U[i] {
+				t.Fatalf("grid %v: u[%d] = %g via MANIFOLD, %g sequentially",
+					want.Grid, i, got.U[i], want.U[i])
+			}
+		}
+	}
+}
