@@ -1,9 +1,6 @@
 package linalg
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // CSR is a sparse matrix in compressed sparse row format.
 type CSR struct {
@@ -38,14 +35,12 @@ func (b *Builder) Add(r, c int, v float64) {
 	b.entries = append(b.entries, entry{r, c, v})
 }
 
-// Build sorts, merges and converts the accumulated entries to CSR.
+// Build sorts, merges and converts the accumulated entries to CSR. The
+// sort is a two-pass LSD radix over (column, row) using counting buckets —
+// O(nnz + rows + cols) instead of a comparison sort — and stable, so
+// duplicate coordinates are summed in insertion order.
 func (b *Builder) Build() *CSR {
-	sort.Slice(b.entries, func(i, j int) bool {
-		if b.entries[i].r != b.entries[j].r {
-			return b.entries[i].r < b.entries[j].r
-		}
-		return b.entries[i].c < b.entries[j].c
-	})
+	b.entries = countingSort(b.entries, b.rows, b.cols)
 	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
 	for i := 0; i < len(b.entries); {
 		e := b.entries[i]
@@ -66,6 +61,50 @@ func (b *Builder) Build() *CSR {
 		}
 	}
 	return m
+}
+
+// countingSort orders entries by (row, column) with a stable two-pass
+// least-significant-digit radix sort: first a counting pass over columns,
+// then one over rows. Both passes are linear scatter-gathers.
+func countingSort(entries []entry, rows, cols int) []entry {
+	if len(entries) < 2 {
+		return entries
+	}
+	tmp := make([]entry, len(entries))
+	// Pass 1: stable counting sort by column into tmp.
+	count := make([]int, maxInt(rows, cols)+1)
+	for _, e := range entries {
+		count[e.c+1]++
+	}
+	for c := 1; c < cols; c++ {
+		count[c+1] += count[c]
+	}
+	for _, e := range entries {
+		tmp[count[e.c]] = e
+		count[e.c]++
+	}
+	// Pass 2: stable counting sort by row back into entries.
+	for i := range count {
+		count[i] = 0
+	}
+	for _, e := range tmp {
+		count[e.r+1]++
+	}
+	for r := 1; r < rows; r++ {
+		count[r+1] += count[r]
+	}
+	for _, e := range tmp {
+		entries[count[e.r]] = e
+		count[e.r]++
+	}
+	return entries
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // NNZ returns the number of stored entries.
@@ -111,7 +150,9 @@ func (m *CSR) At(r, c int) float64 {
 }
 
 // ShiftedScaled returns I - s*A for a square A: the Rosenbrock system
-// matrix with s = gamma*tau.
+// matrix with s = gamma*tau. It assembles a fresh matrix on every call;
+// hot loops that vary only s should hold a ShiftedOperator instead, whose
+// Update rewrites the values in place.
 func (m *CSR) ShiftedScaled(s float64) *CSR {
 	if m.Rows != m.Cols {
 		panic("linalg: ShiftedScaled needs a square matrix")

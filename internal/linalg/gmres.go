@@ -11,8 +11,16 @@ import (
 // iterations. GMRES is the classic alternative to BiCGStab for the
 // nonsymmetric advection-diffusion systems of the Rosenbrock stages: it
 // never breaks down and its residual is monotone, at the price of storing
-// the Krylov basis.
+// the Krylov basis. It allocates a fresh workspace (including the basis);
+// hot loops should hold a Workspace and call its GMRES method instead.
 func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (SolveStats, error) {
+	return NewWorkspace().GMRES(a, x, b, tol, restart, maxIter, ops)
+}
+
+// GMRES is the workspace-pooled variant of the package-level GMRES: the
+// Krylov basis, Hessenberg and rotation buffers come from ws and are
+// reused across calls, so steady-state calls allocate nothing.
+func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (SolveStats, error) {
 	n := a.Rows
 	if a.Cols != n || len(x) != n || len(b) != n {
 		panic(fmt.Sprintf("linalg: GMRES dims %dx%d, x[%d], b[%d]", a.Rows, a.Cols, len(x), len(b)))
@@ -29,7 +37,9 @@ func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (So
 			maxIter = 100
 		}
 	}
-	invD := NewVector(n)
+	m := restart
+	ws.ensureGMRES(n, m)
+	invD := ws.invD
 	a.Diagonal(invD)
 	for i, d := range invD {
 		if d == 0 {
@@ -46,21 +56,14 @@ func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (So
 		return SolveStats{}, nil
 	}
 
-	m := restart
 	// Krylov basis and Hessenberg in column-major slices.
-	v := make([]Vector, m+1)
-	for i := range v {
-		v[i] = NewVector(n)
-	}
-	h := make([][]float64, m+1)
-	for i := range h {
-		h[i] = make([]float64, m)
-	}
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	w := NewVector(n)
-	z := NewVector(n)
+	v := ws.basis
+	h := ws.hess
+	cs := ws.cs
+	sn := ws.sn
+	g := ws.g
+	w := ws.w
+	z := ws.z
 
 	total := 0
 	for total < maxIter {
@@ -130,7 +133,7 @@ func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (So
 			}
 		}
 		// Solve the k x k triangular system h y = g.
-		y := make([]float64, k)
+		y := ws.y[:k]
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {

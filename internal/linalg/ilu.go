@@ -3,6 +3,7 @@ package linalg
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ILU0 is an incomplete LU factorization with zero fill-in: L and U share
@@ -16,6 +17,7 @@ type ILU0 struct {
 	colIdx []int
 	val    []float64 // combined L (strict lower, unit diagonal) and U
 	diag   []int     // index of the diagonal entry in each row
+	colPos []int     // scratch scatter index, kept to make Refactor allocation-free
 }
 
 // NewILU0 computes the ILU(0) factorization of a square CSR matrix. It
@@ -32,6 +34,7 @@ func NewILU0(a *CSR, ops *Ops) (*ILU0, error) {
 		colIdx: append([]int(nil), a.ColIdx...),
 		val:    append([]float64(nil), a.Val...),
 		diag:   make([]int, n),
+		colPos: make([]int, n),
 	}
 	// Locate diagonals (column indices are sorted by the builder).
 	for i := 0; i < n; i++ {
@@ -46,13 +49,34 @@ func NewILU0(a *CSR, ops *Ops) (*ILU0, error) {
 			return nil, fmt.Errorf("linalg: ILU0 row %d has no diagonal entry", i)
 		}
 	}
-	// IKJ variant restricted to the existing pattern.
-	colPos := make([]int, n) // scatter index of row i's entries
-	for i := range colPos {
-		colPos[i] = -1
+	for i := range f.colPos {
+		f.colPos[i] = -1
 	}
+	if err := f.factorize(ops); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorization in place for a matrix with the
+// same sparsity pattern as the one the factorization was built from (the
+// Rosenbrock stage matrix I - gamma*tau*J: its pattern is fixed, only the
+// values move when tau changes). It allocates nothing. On a zero pivot the
+// factor values are left invalid and must not be used for Solve.
+func (f *ILU0) Refactor(a *CSR, ops *Ops) error {
+	if a.Rows != f.n || a.Cols != f.n || len(a.Val) != len(f.val) {
+		return errors.New("linalg: ILU0 refactor pattern mismatch")
+	}
+	copy(f.val, a.Val)
+	return f.factorize(ops)
+}
+
+// factorize runs the IKJ elimination restricted to the existing pattern,
+// overwriting f.val (which must hold the matrix values on entry).
+func (f *ILU0) factorize(ops *Ops) error {
+	colPos := f.colPos // scatter index of row i's entries; -1 outside row i
 	var flops int64
-	for i := 0; i < n; i++ {
+	for i := 0; i < f.n; i++ {
 		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
 			colPos[f.colIdx[k]] = k
 		}
@@ -63,7 +87,9 @@ func NewILU0(a *CSR, ops *Ops) (*ILU0, error) {
 			}
 			piv := f.val[f.diag[j]]
 			if piv == 0 {
-				return nil, fmt.Errorf("linalg: ILU0 zero pivot at row %d", j)
+				f.resetColPos(i)
+				ops.Add(flops)
+				return fmt.Errorf("linalg: ILU0 zero pivot at row %d", j)
 			}
 			lij := f.val[k] / piv
 			f.val[k] = lij
@@ -79,11 +105,20 @@ func NewILU0(a *CSR, ops *Ops) (*ILU0, error) {
 			colPos[f.colIdx[k]] = -1
 		}
 		if f.val[f.diag[i]] == 0 {
-			return nil, fmt.Errorf("linalg: ILU0 zero pivot at row %d", i)
+			ops.Add(flops)
+			return fmt.Errorf("linalg: ILU0 zero pivot at row %d", i)
 		}
 	}
 	ops.Add(flops)
-	return f, nil
+	return nil
+}
+
+// resetColPos clears the scatter marks of row i after an early exit so the
+// scratch array is all -1 for the next factorization.
+func (f *ILU0) resetColPos(i int) {
+	for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+		f.colPos[f.colIdx[k]] = -1
+	}
 }
 
 // Solve applies the preconditioner: x = U^-1 L^-1 b. x and b may alias.
@@ -112,11 +147,24 @@ func (f *ILU0) Solve(x, b Vector, ops *Ops) {
 
 // BiCGStabILU solves A x = b with BiCGStab preconditioned by an ILU(0)
 // factorization of A (computed internally). On operators where ILU(0)
-// breaks down it falls back to the Jacobi-preconditioned BiCGStab.
+// breaks down it falls back to the Jacobi-preconditioned BiCGStab. It
+// allocates fresh factors and workspace; hot loops should hold a Workspace
+// and call its BiCGStabILU method, which caches the factorization.
 func BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveStats, error) {
-	f, err := NewILU0(a, ops)
+	return NewWorkspace().BiCGStabILU(a, x, b, tol, maxIter, math.NaN(), ops)
+}
+
+// BiCGStabILU is the workspace-pooled variant of the package-level
+// BiCGStabILU. The ILU(0) factorization is cached in ws keyed on (a, key):
+// passing the Rosenbrock shift gamma*tau as key makes repeated stage
+// solves at an unchanged step size reuse the factors outright, and a
+// changed step refactorizes in place with no allocation. A NaN key never
+// matches, forcing a refactorization. On factorization breakdown it falls
+// back to the Jacobi-preconditioned BiCGStab.
+func (ws *Workspace) BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, key float64, ops *Ops) (SolveStats, error) {
+	f, err := ws.ILUFor(a, key, ops)
 	if err != nil {
-		return BiCGStab(a, x, b, tol, maxIter, ops)
+		return ws.BiCGStab(a, x, b, tol, maxIter, ops)
 	}
 	n := a.Rows
 	if maxIter <= 0 {
@@ -125,7 +173,8 @@ func BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (Solve
 			maxIter = 100
 		}
 	}
-	r := NewVector(n)
+	ws.ensureBiCGStab(n)
+	r := ws.r
 	a.MulVec(r, x, ops)
 	r.Sub(b, r, ops)
 	bNorm := b.Norm2(ops)
@@ -133,16 +182,17 @@ func BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (Solve
 		x.Fill(0)
 		return SolveStats{}, nil
 	}
-	if r.Norm2(ops)/bNorm <= tol {
-		return SolveStats{Residual: r.Norm2(nil) / bNorm}, nil
+	if rn := r.Norm2(ops); rn/bNorm <= tol {
+		return SolveStats{Residual: rn / bNorm}, nil
 	}
-	rTilde := r.Clone()
-	p := NewVector(n)
-	v := NewVector(n)
-	s := NewVector(n)
-	t := NewVector(n)
-	pHat := NewVector(n)
-	sHat := NewVector(n)
+	rTilde := ws.rTilde
+	copy(rTilde, r)
+	p := ws.p
+	v := ws.v
+	s := ws.s
+	t := ws.t
+	pHat := ws.pHat
+	sHat := ws.sHat
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; it <= maxIter; it++ {
 		rhoNew := rTilde.Dot(r, ops)

@@ -1,0 +1,117 @@
+package linalg
+
+import "testing"
+
+// gridOperator assembles the 5-point upwind/central advection-diffusion
+// stencil of an n x n interior grid — the level-5 sparse-grid operator is
+// n = 2^(2+5) - 1 = 127 — without importing internal/pde (which would be
+// an import cycle: grid depends on linalg).
+func gridOperator(n int) *CSR {
+	h := 1.0 / float64(n+1)
+	dw := 0.01 / (h * h)
+	aw := 1.0 / h
+	as := 0.5 / h
+	diag := -4*dw - aw - as
+	b := NewBuilder(n*n, n*n)
+	idx := func(ix, iy int) int { return iy*n + ix }
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			row := idx(ix, iy)
+			b.Add(row, row, diag)
+			if ix > 0 {
+				b.Add(row, idx(ix-1, iy), dw+aw)
+			}
+			if ix < n-1 {
+				b.Add(row, idx(ix+1, iy), dw)
+			}
+			if iy > 0 {
+				b.Add(row, idx(ix, iy-1), dw+as)
+			}
+			if iy < n-1 {
+				b.Add(row, idx(ix, iy+1), dw)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// level5 is the interior dimension of the level-5 paper grid (root 2).
+const level5 = 1<<7 - 1
+
+// BenchmarkShiftedScaled is the seed path: a full Builder assembly of
+// I - s*A on every step-size change.
+func BenchmarkShiftedScaled(b *testing.B) {
+	a := gridOperator(level5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := 0.01 + float64(i%7)*1e-4 // vary s as the controller does
+		_ = a.ShiftedScaled(s)
+	}
+}
+
+// BenchmarkShiftedUpdate is the new path: rewrite the cached pattern's
+// values in place. Must beat BenchmarkShiftedScaled by >= 5x.
+func BenchmarkShiftedUpdate(b *testing.B) {
+	a := gridOperator(level5)
+	op := NewShiftedOperator(a)
+	op.Update(0.01, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := 0.01 + float64(i%7)*1e-4
+		op.Update(s, nil)
+	}
+}
+
+// BenchmarkShiftedUpdateHeld measures the skip path: the controller kept
+// the step, so the matrix is already current.
+func BenchmarkShiftedUpdateHeld(b *testing.B) {
+	a := gridOperator(level5)
+	op := NewShiftedOperator(a)
+	op.Update(0.01, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Update(0.01, nil)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	a := gridOperator(level5)
+	x := NewVector(a.Cols)
+	y := NewVector(a.Rows)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(16 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x, nil)
+	}
+}
+
+// BenchmarkBuilderBuild measures the one-time assembly with the O(nnz)
+// counting sort (the seed used sort.Slice).
+func BenchmarkBuilderBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gridOperator(level5)
+	}
+}
+
+// TestShiftedUpdateAllocFree asserts the in-place update allocates
+// nothing.
+func TestShiftedUpdateAllocFree(t *testing.T) {
+	a := gridOperator(31)
+	op := NewShiftedOperator(a)
+	op.Update(0.01, nil)
+	s := 0.01
+	if n := testing.AllocsPerRun(100, func() {
+		s += 1e-6
+		op.Update(s, nil)
+	}); n != 0 {
+		t.Fatalf("ShiftedOperator.Update allocates %v per call, want 0", n)
+	}
+}

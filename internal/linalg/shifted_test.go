@@ -1,0 +1,120 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSquare builds a random sparse square matrix through the Builder.
+// diagProb controls how often a row gets an explicit diagonal entry, so
+// structurally missing diagonals are exercised.
+func randomSquare(rng *rand.Rand, n int, density, diagProb float64) *CSR {
+	b := NewBuilder(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c == r {
+				if rng.Float64() < diagProb {
+					b.Add(r, c, rng.NormFloat64())
+				}
+				continue
+			}
+			if rng.Float64() < density {
+				b.Add(r, c, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func sameCSR(t *testing.T, want, got *CSR) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("dims: want %dx%d, got %dx%d", want.Rows, want.Cols, got.Rows, got.Cols)
+	}
+	if len(want.Val) != len(got.Val) {
+		t.Fatalf("nnz: want %d, got %d", len(want.Val), len(got.Val))
+	}
+	for i := range want.RowPtr {
+		if want.RowPtr[i] != got.RowPtr[i] {
+			t.Fatalf("RowPtr[%d]: want %d, got %d", i, want.RowPtr[i], got.RowPtr[i])
+		}
+	}
+	for i := range want.ColIdx {
+		if want.ColIdx[i] != got.ColIdx[i] {
+			t.Fatalf("ColIdx[%d]: want %d, got %d", i, want.ColIdx[i], got.ColIdx[i])
+		}
+	}
+	for i := range want.Val {
+		// Bit-identical, not just close: the in-place update must perform
+		// exactly the arithmetic of the from-scratch assembly.
+		if want.Val[i] != got.Val[i] {
+			t.Fatalf("Val[%d]: want %v, got %v (bit mismatch)", i, want.Val[i], got.Val[i])
+		}
+	}
+}
+
+// TestShiftedOperatorMatchesShiftedScaled asserts that Update(s) produces
+// a matrix bit-identical to a from-scratch ShiftedScaled(s) assembly, on
+// randomized sparsity patterns including rows with a structurally missing
+// diagonal, across repeated shift changes and the skip-if-unchanged path.
+func TestShiftedOperatorMatchesShiftedScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		a := randomSquare(rng, n, 0.15, 0.6)
+		op := NewShiftedOperator(a)
+		for _, s := range []float64{0, 1, -0.75, 1e-9, rng.NormFloat64(), 3.5e4} {
+			got := op.Update(s, nil)
+			want := a.ShiftedScaled(s)
+			sameCSR(t, want, got)
+			// Repeating the same shift must be a no-op that still holds
+			// the correct values.
+			again := op.Update(s, nil)
+			if again != got {
+				t.Fatal("Update with unchanged shift returned a different matrix")
+			}
+			sameCSR(t, want, again)
+		}
+	}
+}
+
+// TestShiftedOperatorMissingDiagonal pins the all-off-diagonal corner: no
+// row has a stored diagonal, so every diagonal entry of M is structural.
+func TestShiftedOperatorMissingDiagonal(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 2.0)
+	b.Add(1, 2, -3.0)
+	b.Add(2, 0, 4.0)
+	a := b.Build()
+	op := NewShiftedOperator(a)
+	for _, s := range []float64{0.5, -2, 0.5} {
+		sameCSR(t, a.ShiftedScaled(s), op.Update(s, nil))
+	}
+	for r := 0; r < 3; r++ {
+		if got := op.Matrix().At(r, r); got != 1 {
+			t.Fatalf("diag %d = %v, want 1", r, got)
+		}
+	}
+}
+
+// TestShiftedOperatorOps asserts an update is accounted as O(nnz) work and
+// a skipped update as none.
+func TestShiftedOperatorOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSquare(rng, 20, 0.2, 0.5)
+	op := NewShiftedOperator(a)
+	var ops Ops
+	op.Update(0.25, &ops)
+	if want := 2 * int64(op.Matrix().NNZ()); ops.Flops != want {
+		t.Fatalf("update flops = %d, want %d", ops.Flops, want)
+	}
+	op.Update(0.25, &ops)
+	if want := 2 * int64(op.Matrix().NNZ()); ops.Flops != want {
+		t.Fatalf("skipped update added flops: %d, want %d", ops.Flops, want)
+	}
+	op.Invalidate()
+	op.Update(0.25, &ops)
+	if want := 4 * int64(op.Matrix().NNZ()); ops.Flops != want {
+		t.Fatalf("invalidated update flops = %d, want %d", ops.Flops, want)
+	}
+}

@@ -22,8 +22,16 @@ type SolveStats struct {
 
 // BiCGStab solves A x = b with the BiCGStab iteration, Jacobi (diagonal)
 // preconditioned, to relative residual tol. x is used as the initial guess
-// and overwritten with the solution. maxIter <= 0 means 4*n.
+// and overwritten with the solution. maxIter <= 0 means 4*n. It allocates
+// a fresh workspace; hot loops should hold a Workspace and call its
+// BiCGStab method instead.
 func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveStats, error) {
+	return NewWorkspace().BiCGStab(a, x, b, tol, maxIter, ops)
+}
+
+// BiCGStab is the workspace-pooled variant of the package-level BiCGStab:
+// all solver vectors come from ws, so steady-state calls allocate nothing.
+func (ws *Workspace) BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveStats, error) {
 	n := a.Rows
 	if a.Cols != n || len(x) != n || len(b) != n {
 		panic(fmt.Sprintf("linalg: BiCGStab dims %dx%d, x[%d], b[%d]", a.Rows, a.Cols, len(x), len(b)))
@@ -34,8 +42,9 @@ func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveSta
 			maxIter = 100
 		}
 	}
+	ws.ensureBiCGStab(n)
 	// Jacobi preconditioner M^-1 = 1/diag(A).
-	invD := NewVector(n)
+	invD := ws.invD
 	a.Diagonal(invD)
 	for i, d := range invD {
 		if d == 0 {
@@ -46,7 +55,7 @@ func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveSta
 	}
 	ops.Add(int64(n))
 
-	r := NewVector(n)
+	r := ws.r
 	a.MulVec(r, x, ops)
 	r.Sub(b, r, ops)
 	bNorm := b.Norm2(ops)
@@ -54,17 +63,18 @@ func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveSta
 		x.Fill(0)
 		return SolveStats{Iterations: 0, Residual: 0}, nil
 	}
-	if r.Norm2(ops)/bNorm <= tol {
-		return SolveStats{Iterations: 0, Residual: r.Norm2(nil) / bNorm}, nil
+	if rn := r.Norm2(ops); rn/bNorm <= tol {
+		return SolveStats{Iterations: 0, Residual: rn / bNorm}, nil
 	}
 
-	rTilde := r.Clone()
-	p := NewVector(n)
-	v := NewVector(n)
-	s := NewVector(n)
-	t := NewVector(n)
-	pHat := NewVector(n)
-	sHat := NewVector(n)
+	rTilde := ws.rTilde
+	copy(rTilde, r)
+	p := ws.p
+	v := ws.v
+	s := ws.s
+	t := ws.t
+	pHat := ws.pHat
+	sHat := ws.sHat
 
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; it <= maxIter; it++ {

@@ -1,0 +1,117 @@
+package linalg
+
+// Workspace owns every buffer the iterative solvers need — the BiCGStab
+// vectors, the GMRES Krylov basis and Hessenberg, and a cached ILU(0)
+// factorization — so a steady-state Rosenbrock stepping loop performs no
+// allocations at all. A zero-value Workspace is ready to use; buffers grow
+// on demand and are reused across solves (and across systems of different
+// sizes: a buffer is re-sliced when large enough, reallocated otherwise).
+//
+// A Workspace is not safe for concurrent use; give each goroutine its own.
+type Workspace struct {
+	// Shared by both BiCGStab variants.
+	invD, r, rTilde, p, v, s, t, pHat, sHat Vector
+
+	// GMRES: Krylov basis, Hessenberg columns, Givens rotations.
+	basis  []Vector
+	hess   [][]float64
+	cs, sn []float64
+	g, y   []float64
+	w, z   Vector
+
+	// Cached ILU(0) factorization, keyed on the matrix identity and the
+	// caller-supplied shift key (the Rosenbrock gamma*tau).
+	ilu      *ILU0
+	iluSrc   *CSR
+	iluKey   float64
+	iluValid bool
+	iluErr   error
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns v with length n, reusing its backing array when possible.
+func grow(v Vector, n int) Vector {
+	if cap(v) < n {
+		return make(Vector, n)
+	}
+	return v[:n]
+}
+
+func growF(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// ensureBiCGStab sizes the BiCGStab buffers for an n-dimensional solve.
+func (ws *Workspace) ensureBiCGStab(n int) {
+	ws.invD = grow(ws.invD, n)
+	ws.r = grow(ws.r, n)
+	ws.rTilde = grow(ws.rTilde, n)
+	ws.p = grow(ws.p, n)
+	ws.v = grow(ws.v, n)
+	ws.s = grow(ws.s, n)
+	ws.t = grow(ws.t, n)
+	ws.pHat = grow(ws.pHat, n)
+	ws.sHat = grow(ws.sHat, n)
+}
+
+// ensureGMRES sizes the GMRES buffers for restart dimension m on an
+// n-dimensional system.
+func (ws *Workspace) ensureGMRES(n, m int) {
+	ws.invD = grow(ws.invD, n)
+	ws.w = grow(ws.w, n)
+	ws.z = grow(ws.z, n)
+	if cap(ws.basis) < m+1 {
+		basis := make([]Vector, m+1)
+		copy(basis, ws.basis)
+		ws.basis = basis
+	}
+	ws.basis = ws.basis[:m+1]
+	for i := range ws.basis {
+		ws.basis[i] = grow(ws.basis[i], n)
+	}
+	if cap(ws.hess) < m+1 {
+		hess := make([][]float64, m+1)
+		copy(hess, ws.hess)
+		ws.hess = hess
+	}
+	ws.hess = ws.hess[:m+1]
+	for i := range ws.hess {
+		ws.hess[i] = growF(ws.hess[i], m)
+	}
+	ws.cs = growF(ws.cs, m)
+	ws.sn = growF(ws.sn, m)
+	ws.g = growF(ws.g, m+1)
+	ws.y = growF(ws.y, m)
+}
+
+// ILUFor returns the ILU(0) factorization of a, reusing the cached factors
+// when both the matrix identity and the shift key match the previous call
+// — the Rosenbrock step-size controller frequently keeps tau, and then the
+// factorization is free. When the key changes but the matrix (and hence
+// its pattern) is the same, the factorization is redone in place with no
+// allocation. A factorization failure (zero pivot) is cached under the
+// same key so repeated stage solves do not retry it.
+func (ws *Workspace) ILUFor(a *CSR, key float64, ops *Ops) (*ILU0, error) {
+	if ws.iluValid && ws.iluSrc == a && ws.iluKey == key {
+		return ws.ilu, ws.iluErr
+	}
+	if ws.ilu != nil && ws.iluSrc == a {
+		ws.iluErr = ws.ilu.Refactor(a, ops)
+	} else {
+		ws.ilu, ws.iluErr = NewILU0(a, ops)
+		if ws.ilu == nil {
+			// Structural failure (no diagonal / not square): do not pin
+			// the cache to a broken factor object.
+			ws.iluSrc, ws.iluValid = nil, false
+			return nil, ws.iluErr
+		}
+		ws.iluSrc = a
+	}
+	ws.iluKey, ws.iluValid = key, true
+	return ws.ilu, ws.iluErr
+}

@@ -129,6 +129,12 @@ type Disc struct {
 
 	links   []boundaryLink
 	sources []sourcePoint
+
+	// rhs is the scratch vector F uses for b(t), allocated once so the
+	// integrator's hot loop stays allocation-free. It makes F
+	// non-reentrant: a Disc must not be shared by concurrent
+	// integrations (each sparse-grid worker builds its own).
+	rhs linalg.Vector
 }
 
 type sourcePoint struct {
@@ -207,6 +213,7 @@ func NewDisc(g grid.Grid, p *Problem) *Disc {
 		}
 	}
 	d.A = b.Build()
+	d.rhs = linalg.NewVector(mx * my)
 	return d
 }
 
@@ -234,9 +241,11 @@ func (d *Disc) RHS(t float64, b linalg.Vector, ops *linalg.Ops) {
 // F evaluates the semi-discrete right-hand side out = A*u + b(t).
 func (d *Disc) F(t float64, u, out linalg.Vector, ops *linalg.Ops) {
 	d.A.MulVec(out, u, ops)
-	tmp := linalg.NewVector(len(out))
-	d.RHS(t, tmp, ops)
-	out.AXPY(1, tmp, ops)
+	if d.rhs == nil {
+		d.rhs = linalg.NewVector(len(out))
+	}
+	d.RHS(t, d.rhs, ops)
+	out.AXPY(1, d.rhs, ops)
 }
 
 // InitialInterior samples the initial condition at the interior points.

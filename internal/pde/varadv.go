@@ -110,5 +110,6 @@ func NewVarDisc(g grid.Grid, p *VarProblem) *Disc {
 		}
 	}
 	d.A = b.Build()
+	d.rhs = linalg.NewVector(mx * my)
 	return d
 }

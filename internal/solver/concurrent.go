@@ -84,9 +84,12 @@ func Concurrent(p Params) (*Output, error) {
 		m.Finished()
 	}, func(w *core.Worker) {
 		// Worker steps 1-3; death_worker (step 4) is raised by the
-		// protocol wrapper when this function returns.
+		// protocol wrapper when this function returns. Each worker owns
+		// its integrator workspace — solver buffers are never shared
+		// across goroutines.
+		ws := rosenbrock.NewWorkspace()
 		job := w.Read().(Job)
-		res, err := SubsolveWith(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin)
+		res, err := SubsolveInto(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws)
 		w.Write(jobResult{res: res, err: err})
 	})
 

@@ -100,7 +100,7 @@ type Result struct {
 
 // Subsolve performs the heavy computational work on grid g: it assembles
 // the advection-diffusion discretization, integrates from 0 to tEnd with
-// the adaptive Rosenbrock solver (building and solving a linear system
+// the adaptive Rosenbrock solver (updating and solving a linear system
 // every stage) and returns the interior solution. It touches no state
 // outside its own grid.
 func Subsolve(g grid.Grid, p *pde.Problem, tol, tEnd float64) (Result, error) {
@@ -109,9 +109,18 @@ func Subsolve(g grid.Grid, p *pde.Problem, tol, tEnd float64) (Result, error) {
 
 // SubsolveWith is Subsolve with an explicit choice of inner linear solver.
 func SubsolveWith(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver) (Result, error) {
+	return SubsolveInto(g, p, tol, tEnd, lin, nil)
+}
+
+// SubsolveInto is SubsolveWith solving out of a reusable integrator
+// workspace: the sequential driver passes one workspace across the whole
+// grid family so per-grid solver buffers are recycled rather than
+// reallocated; each concurrent worker owns its own. ws may be nil, which
+// allocates a fresh workspace for this call.
+func SubsolveInto(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace) (Result, error) {
 	d := pde.NewDisc(g, p)
 	u := d.InitialInterior()
-	stats, err := rosenbrock.Integrate(d, u, 0, tEnd, rosenbrock.Config{Tol: tol, Solver: lin})
+	stats, err := rosenbrock.Integrate(d, u, 0, tEnd, rosenbrock.Config{Tol: tol, Solver: lin, Work: ws})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: subsolve %v: %w", g, err)
 	}
@@ -161,9 +170,12 @@ func Sequential(p Params) (*Output, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// One workspace serves the whole family: grid i+1 reuses (and grows)
+	// the solver buffers grid i allocated.
+	ws := rosenbrock.NewWorkspace()
 	var results []Result
 	for _, g := range grid.Family(p.Root, p.Level) {
-		r, err := SubsolveWith(g, p.Problem, p.Tol, p.TEnd, p.Solver)
+		r, err := SubsolveInto(g, p.Problem, p.Tol, p.TEnd, p.Solver, ws)
 		if err != nil {
 			return nil, err
 		}

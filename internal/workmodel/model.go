@@ -27,6 +27,12 @@
 // absolute scale to the paper's st(level=15, tol=1.0e-3) = 2019.02 s on a
 // 1200 MHz machine. The low-level behaviour is anchored by InitMc
 // (sequential start-up work, visible in the paper's st(0) ~ 0.02 s).
+//
+// The real solver's flop counts feeding this calibration charge the
+// Rosenbrock stage matrix at its true steady-state cost: an in-place
+// O(nnz) shifted-operator update per step-size change (nothing when the
+// controller holds the step), not the full re-assembly the seed performed
+// — see the "Hot-loop cost model" section of EXPERIMENTS.md.
 package workmodel
 
 import (

@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench.sh — run the hot-kernel benchmarks with allocation reporting, for
+# before/after comparison of the Rosenbrock stepping loop (see the
+# "Hot-loop cost model" section of EXPERIMENTS.md).
+#
+# Usage:
+#   scripts/bench.sh                 # full run
+#   scripts/bench.sh -benchtime 1x   # smoke run (CI)
+#   scripts/bench.sh -count 5        # for benchstat comparisons
+#
+# Extra arguments are passed through to `go test`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "## linalg kernels (assembly vs in-place update, SpMV)"
+go test -run XXX \
+    -bench 'BenchmarkShifted|BenchmarkMulVec|BenchmarkBuilderBuild' \
+    -benchmem "$@" ./internal/linalg/
+
+echo
+echo "## rosenbrock steady-state stepping (must be 0 allocs/op)"
+go test -run XXX \
+    -bench 'BenchmarkSubsolveSteady|BenchmarkIntegrateWorkspaceReuse' \
+    -benchmem "$@" ./internal/rosenbrock/
