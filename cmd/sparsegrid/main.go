@@ -5,27 +5,55 @@
 // program: root, level, tolerance.
 //
 //	sparsegrid -root 2 -level 3 -tol 1e-3 -mode both
+//
+// The concurrent mode is fault tolerant: -faults injects seeded worker
+// failures (panics, hangs, corrupt results), -retries bounds how often a
+// failed job is resubmitted to a fresh worker, and jobs that exhaust their
+// retries fall back to a master-local subsolve — so even a run that loses
+// workers produces output identical to the sequential version.
+//
+//	sparsegrid -mode both -faults 'seed=42,panic=0.2,hang=0.1' -retries 3
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/solver"
 )
 
 func main() {
 	var (
-		root  = flag.Int("root", 2, "refinement level of the coarsest grid (argv[1])")
-		level = flag.Int("level", 3, "additional refinement above the root level (argv[2])")
-		tol   = flag.Float64("tol", 1e-3, "tolerance of the integrator (argv[3])")
-		mode  = flag.String("mode", "both", "seq, conc, or both")
+		root    = flag.Int("root", 2, "refinement level of the coarsest grid (argv[1])")
+		level   = flag.Int("level", 3, "additional refinement above the root level (argv[2])")
+		tol     = flag.Float64("tol", 1e-3, "tolerance of the integrator (argv[3])")
+		mode    = flag.String("mode", "both", "seq, conc, or both")
+		faults  = flag.String("faults", "", "worker fault injection spec, e.g. 'seed=42,panic=0.2,panicpre=0.1,hang=0.1,corrupt=0.1,hangfor=2s' (concurrent mode)")
+		retries = flag.Int("retries", 2, "per-job retry budget of the concurrent mode")
+		ddl     = flag.Duration("worker-deadline", 10*time.Second, "how long the master waits for one worker before abandoning it (0 = forever)")
+		budget  = flag.Int("failure-budget", 0, "total failed worker attempts tolerated per concurrent run (0 = unlimited)")
 	)
 	flag.Parse()
 
-	p := solver.Params{Root: *root, Level: *level, Tol: *tol}
+	p := solver.Params{
+		Root: *root, Level: *level, Tol: *tol,
+		Retries:        *retries,
+		FailureBudget:  *budget,
+		WorkerDeadline: *ddl,
+		Fallback:       true,
+	}
+	if *faults != "" {
+		inj, err := core.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p.Faults = inj
+	}
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -46,11 +74,21 @@ func main() {
 		t0 := time.Now()
 		out, err := solver.Concurrent(p)
 		if err != nil {
+			var be core.BudgetExhausted
+			if errors.As(err, &be) {
+				fmt.Fprintf(os.Stderr, "concurrent: run aborted: %d worker failures exceeded the failure budget of %d (raise -failure-budget or -retries)\n",
+					be.Failures, be.Budget)
+				os.Exit(3)
+			}
 			fmt.Fprintln(os.Stderr, "concurrent:", err)
 			os.Exit(1)
 		}
 		conc = out
 		report("concurrent", out, time.Since(t0))
+		if fs := out.Faults; fs.Failures > 0 || fs.Retries > 0 || fs.Fallbacks > 0 {
+			fmt.Printf("%-10s workers=%d deaths=%d failures=%d retries=%d abandoned=%d fallbacks=%d\n",
+				"faults", fs.Workers, fs.Deaths, fs.Failures, fs.Retries, fs.Abandoned, fs.Fallbacks)
+		}
 	}
 	if seq != nil && conc != nil {
 		if d := seq.Combined.MaxDiff(conc.Combined); d == 0 {

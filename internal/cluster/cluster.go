@@ -54,16 +54,57 @@ func PaperCluster() []MachineSpec {
 }
 
 // Machine is a single-processor workstation: a CPU (capacity 1) and a
-// network interface that serializes this host's transfers.
+// network interface that serializes this host's transfers. A machine can be
+// scheduled to crash (it disappears, taking its task instances with it) or
+// to slow down (multi-user load, the paper's runaway-Netscape effect).
 type Machine struct {
 	Spec  MachineSpec
 	Index int
 	cpu   *sim.Resource
 	nic   *sim.Resource
+
+	crashAt    sim.Time // virtual time at which the machine dies; Infinity = never
+	slowAt     sim.Time // virtual time from which computation stretches
+	slowFactor float64  // stretch factor from slowAt on; 1 = full speed
 }
 
 // Name returns the host name.
 func (m *Machine) Name() string { return m.Spec.Name }
+
+// FailAt schedules the machine to crash at virtual time t: computations in
+// flight at t are lost (ComputeChecked reports the loss) and no new task
+// instance is placed on the machine at or after t.
+func (m *Machine) FailAt(t sim.Time) { m.crashAt = t }
+
+// SlowFrom stretches every computation on the machine by the given factor
+// from virtual time t on (factor 3 means a third of the original speed).
+func (m *Machine) SlowFrom(t sim.Time, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: slow factor %g <= 0", factor))
+	}
+	m.slowAt = t
+	m.slowFactor = factor
+}
+
+// AliveAt reports whether the machine has not yet crashed at time t.
+func (m *Machine) AliveAt(t sim.Time) bool { return t < m.crashAt }
+
+// CrashTime returns the scheduled crash time (Infinity when none).
+func (m *Machine) CrashTime() sim.Time { return m.crashAt }
+
+// stretch returns the duration of a computation starting at now that would
+// take d seconds at full speed, accounting for a slowdown beginning at
+// slowAt (piecewise: full speed before, stretched after).
+func (m *Machine) stretch(now sim.Time, d float64) float64 {
+	if m.slowFactor == 1 || now+d <= m.slowAt {
+		return d
+	}
+	if now >= m.slowAt {
+		return d * m.slowFactor
+	}
+	pre := m.slowAt - now
+	return pre + (d-pre)*m.slowFactor
+}
 
 // Cluster is a set of machines plus the shared network parameters and the
 // task-instance bookkeeping.
@@ -95,10 +136,13 @@ func New(env *sim.Env, specs []MachineSpec, bandwidthMbps, latencySec float64) *
 	}
 	for i, s := range specs {
 		c.Machines = append(c.Machines, &Machine{
-			Spec:  s,
-			Index: i,
-			cpu:   sim.NewResource(env, s.Name+"/cpu", 1),
-			nic:   sim.NewResource(env, s.Name+"/nic", 1),
+			Spec:       s,
+			Index:      i,
+			cpu:        sim.NewResource(env, s.Name+"/cpu", 1),
+			nic:        sim.NewResource(env, s.Name+"/nic", 1),
+			crashAt:    sim.Infinity,
+			slowAt:     sim.Infinity,
+			slowFactor: 1,
 		})
 	}
 	return c
@@ -131,8 +175,38 @@ func (c *Cluster) Compute(p *sim.Proc, m *Machine, megacycles float64) {
 		d *= 1 + c.NoiseAmplitude*(2*c.Noise.Float64()-1)
 	}
 	m.cpu.Acquire(p, 1)
+	p.Hold(m.stretch(p.Now(), d))
+	m.cpu.Release(1)
+}
+
+// ComputeChecked is Compute on a machine that may crash: it returns true
+// when the computation completed, and false when the machine died first (in
+// which case the calling process has been held until the crash instant —
+// the moment the work was lost). Slow-node stretching applies as in
+// Compute.
+func (c *Cluster) ComputeChecked(p *sim.Proc, m *Machine, megacycles float64) bool {
+	if megacycles < 0 {
+		panic(fmt.Sprintf("cluster: negative work %g", megacycles))
+	}
+	d := megacycles / m.Spec.MHz
+	if c.Noise != nil {
+		d *= 1 + c.NoiseAmplitude*(2*c.Noise.Float64()-1)
+	}
+	m.cpu.Acquire(p, 1)
+	now := p.Now()
+	if !m.AliveAt(now) {
+		m.cpu.Release(1)
+		return false
+	}
+	d = m.stretch(now, d)
+	if now+d >= m.crashAt {
+		p.Hold(m.crashAt - now)
+		m.cpu.Release(1)
+		return false
+	}
 	p.Hold(d)
 	m.cpu.Release(1)
+	return true
 }
 
 // Transfer moves bytes from one machine to another, serializing on both
@@ -227,12 +301,14 @@ func (c *Cluster) markAlive(delta int) {
 
 // Place finds room for a process of the given weight: it reuses a live
 // task instance with spare load if one exists (cheap), otherwise forks a
-// fresh task instance on the next locus machine (expensive). The calling
-// simulated process pays the cost.
+// fresh task instance on the next locus machine (expensive). Crashed
+// machines are skipped — their instances are never reused and no fresh
+// instance is forked on them. The calling simulated process pays the cost.
 func (s *Spawner) Place(p *sim.Proc, weight int) *TaskInstance {
+	now := s.Cluster.Env.Now()
 	// Prefer the oldest live instance with room (deterministic).
 	for _, t := range s.tasks {
-		if !t.dead && t.load+weight <= t.MaxLoad {
+		if !t.dead && t.Host.AliveAt(now) && t.load+weight <= t.MaxLoad {
 			p.Hold(s.Config.ReuseCost)
 			t.load += weight
 			t.idleEpoch++ // invalidate any pending reap
@@ -240,8 +316,18 @@ func (s *Spawner) Place(p *sim.Proc, weight int) *TaskInstance {
 			return t
 		}
 	}
-	host := s.Config.Loci[s.next%len(s.Config.Loci)]
-	s.next++
+	var host *Machine
+	for range s.Config.Loci {
+		cand := s.Config.Loci[s.next%len(s.Config.Loci)]
+		s.next++
+		if cand.AliveAt(now) {
+			host = cand
+			break
+		}
+	}
+	if host == nil {
+		panic("cluster: no locus machine left alive")
+	}
 	p.Hold(s.Config.ForkCost)
 	s.forks++
 	c := s.Cluster
@@ -278,8 +364,12 @@ func (s *Spawner) Adopt(host *Machine, weight int) *TaskInstance {
 
 // Leave removes one process of the given weight from t. A non-perpetual
 // task instance dies when its load reaches zero; a perpetual one stays
-// alive (but idle), ready to welcome a new worker.
+// alive (but idle), ready to welcome a new worker. Leaving an instance that
+// already died with its machine is a no-op.
 func (s *Spawner) Leave(t *TaskInstance, weight int) {
+	if t.dead {
+		return
+	}
 	t.load -= weight
 	if t.load < 0 {
 		panic("cluster: task instance load below zero")
@@ -322,8 +412,25 @@ func (s *Spawner) RetireAll() {
 }
 
 func (s *Spawner) kill(t *TaskInstance) {
+	if t.dead {
+		return
+	}
 	t.dead = true
 	s.Cluster.markAlive(-1)
+}
+
+// KillHost kills every task instance living on machine m (the machine
+// itself crashed) and returns how many died. The usage trace records the
+// drop at the current virtual time.
+func (s *Spawner) KillHost(m *Machine) int {
+	killed := 0
+	for _, t := range s.tasks {
+		if !t.dead && t.Host == m {
+			s.kill(t)
+			killed++
+		}
+	}
+	return killed
 }
 
 // Alive returns the number of live task instances.

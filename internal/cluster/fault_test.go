@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestComputeCheckedCompletesOnHealthyMachine(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	m := c.Machines[0] // 1200 MHz
+	var ok bool
+	var at sim.Time
+	env.Spawn("w", func(p *sim.Proc) {
+		ok = c.ComputeChecked(p, m, 2400) // 2 s
+		at = p.Now()
+	})
+	env.Run()
+	if !ok || math.Abs(at-2) > 1e-9 {
+		t.Fatalf("ok=%v at=%g, want completion at 2 s", ok, at)
+	}
+}
+
+func TestComputeCheckedLosesWorkToCrash(t *testing.T) {
+	// The machine dies one second into a two-second computation: the work
+	// is lost at the crash instant, not at the would-be finish time.
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	m := c.Machines[0]
+	m.FailAt(1)
+	var ok bool
+	var at sim.Time
+	env.Spawn("w", func(p *sim.Proc) {
+		ok = c.ComputeChecked(p, m, 2400)
+		at = p.Now()
+	})
+	env.Run()
+	if ok {
+		t.Fatal("computation on a crashing machine reported success")
+	}
+	if math.Abs(at-1) > 1e-9 {
+		t.Fatalf("loss observed at %g, want the crash instant 1", at)
+	}
+}
+
+func TestComputeCheckedOnDeadMachineFailsImmediately(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	m := c.Machines[0]
+	m.FailAt(0.5)
+	var ok bool
+	var at sim.Time
+	env.SpawnAt(2, "w", func(p *sim.Proc) {
+		ok = c.ComputeChecked(p, m, 2400)
+		at = p.Now()
+	})
+	env.Run()
+	if ok || at != 2 {
+		t.Fatalf("ok=%v at=%g, want immediate failure at 2", ok, at)
+	}
+}
+
+func TestSlowFromStretchesComputation(t *testing.T) {
+	// A factor-3 slowdown starting one second into a two-second job: the
+	// first second runs at full speed, the remaining second takes three.
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	m := c.Machines[0]
+	m.SlowFrom(1, 3)
+	var at sim.Time
+	env.Spawn("w", func(p *sim.Proc) {
+		c.Compute(p, m, 2400)
+		at = p.Now()
+	})
+	env.Run()
+	if math.Abs(at-4) > 1e-9 {
+		t.Fatalf("finish at %g, want 4 (1 s full speed + 3 s stretched)", at)
+	}
+}
+
+func TestPlaceSkipsDeadMachines(t *testing.T) {
+	// The first locus machine is dead and the second hosts a reusable
+	// instance whose machine also dies: placement must skip both and fork
+	// on the third.
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, SpawnerConfig{
+		Loci:      []*Machine{c.Machines[1], c.Machines[2], c.Machines[3]},
+		Perpetual: true,
+		MaxLoad:   1,
+	})
+	var hosts []*Machine
+	env.Spawn("m", func(p *sim.Proc) {
+		t1 := s.Place(p, 1) // forks on Machines[1]
+		s.Leave(t1, 1)      // idle perpetual instance, reusable
+		c.Machines[1].FailAt(p.Now())
+		c.Machines[2].FailAt(p.Now())
+		s.KillHost(c.Machines[1])
+		p.Hold(1)
+		t2 := s.Place(p, 1) // must skip the dead instance and dead locus
+		hosts = append(hosts, t1.Host, t2.Host)
+	})
+	env.Run()
+	if hosts[0] != c.Machines[1] || hosts[1] != c.Machines[3] {
+		t.Fatalf("hosts = %s, %s; want %s then %s",
+			hosts[0].Name(), hosts[1].Name(), c.Machines[1].Name(), c.Machines[3].Name())
+	}
+}
+
+func TestKillHostDropsInstancesFromTrace(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewPaper(env)
+	s := NewSpawner(c, SpawnerConfig{
+		Loci:    []*Machine{c.Machines[1], c.Machines[2]},
+		MaxLoad: 1,
+	})
+	env.Spawn("m", func(p *sim.Proc) {
+		a := s.Place(p, 1) // Machines[1]
+		b := s.Place(p, 1) // Machines[2]
+		p.Hold(1)
+		c.Machines[1].FailAt(p.Now())
+		if killed := s.KillHost(c.Machines[1]); killed != 1 {
+			t.Errorf("killed %d instances, want 1", killed)
+		}
+		if c.Alive() != 1 {
+			t.Errorf("alive = %d after crash, want 1", c.Alive())
+		}
+		// Leaving the dead instance must not double-count its death; the
+		// survivor leaves normally.
+		s.Leave(a, 1)
+		if c.Alive() != 1 {
+			t.Errorf("alive = %d after leaving the dead instance, want 1", c.Alive())
+		}
+		s.Leave(b, 1)
+		if c.Alive() != 0 {
+			t.Errorf("alive = %d at the end, want 0", c.Alive())
+		}
+	})
+	env.Run()
+}

@@ -24,6 +24,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/manifold"
 )
@@ -43,8 +45,11 @@ const (
 // protocol. It wraps the master's manifold process; every method
 // corresponds to a step of the behaviour interface in §4.3.
 type Master struct {
-	p *manifold.Process
+	p     *manifold.Process
+	state *runState
 }
+
+func (m *Master) policy() Policy { return m.state.policy }
 
 // Process returns the underlying manifold process.
 func (m *Master) Process() *manifold.Process { return m.p }
@@ -73,6 +78,30 @@ func (m *Master) Send(u manifold.Unit) { m.p.Output().Write(u) }
 // (step 3f). Results arrive in completion order, not creation order.
 func (m *Master) ReadResult() manifold.Unit { return m.p.Port("dataport").MustRead() }
 
+// ReadResultWithin is ReadResult with a deadline, so a master is never
+// stuck forever on a hung worker. It returns manifold.ErrTimeout when no
+// result arrives within d.
+func (m *Master) ReadResultWithin(d time.Duration) (manifold.Unit, error) {
+	return m.p.Port("dataport").ReadWithin(d)
+}
+
+// abandon gives up on a worker the master no longer trusts to deliver: the
+// master raises death_worker on its behalf (exactly once per worker — a
+// late self-raise is suppressed) so the rendezvous count stays correct, and
+// closes the worker's input port so a worker hung before its read unsticks
+// (its MustRead panics, which the protocol wrapper absorbs). The goroutine
+// of a worker hung inside its own body cannot be killed — Go has no
+// preemptive termination — so it is left to finish in the background,
+// mirroring how an operating system would eventually reap a MANIFOLD task
+// instance.
+func (m *Master) abandon(w *manifold.Process) {
+	if m.state.markDead(w) {
+		m.p.Raise(EvDeathWorker)
+	}
+	w.Input().Close()
+	m.state.addAbandoned()
+}
+
 // Rendezvous asks the coordinator to organize a rendezvous — a
 // synchronization point at which every worker of the pool has died — and
 // naps until the coordinator acknowledges it with a_rendezvous (steps
@@ -90,20 +119,48 @@ func (m *Master) Finished() { m.p.Raise(EvFinished) }
 // Worker is the handle through which a worker computation speaks the
 // protocol.
 type Worker struct {
-	p *manifold.Process
+	p       *manifold.Process
+	id      int  // pool-local job ID, -1 until an enveloped job is read
+	tagged  bool // true once an enveloped job was read
+	fault   FaultKind
+	hangFor time.Duration
 }
 
 // Process returns the underlying manifold process.
 func (w *Worker) Process() *manifold.Process { return w.p }
 
 // Read obtains the job information from the worker's own input port
-// (worker step 1).
-func (w *Worker) Read() manifold.Unit { return w.p.Input().MustRead() }
+// (worker step 1). Jobs submitted through a Pool arrive in a tagging
+// envelope, which Read strips; injected post-read faults fire here.
+func (w *Worker) Read() manifold.Unit {
+	u := w.p.Input().MustRead()
+	if env, ok := u.(jobEnvelope); ok {
+		w.tagged = true
+		w.id = env.ID
+		u = env.Job
+	}
+	switch w.fault {
+	case FaultPanic:
+		panic(InjectedFault{Kind: FaultPanic})
+	case FaultHang:
+		time.Sleep(w.hangFor)
+	}
+	return u
+}
 
 // Write delivers computed results through the worker's own output port
 // (worker step 3); the coordinator's KK stream carries them to the
-// master's dataport.
-func (w *Worker) Write(u manifold.Unit) { w.p.Output().Write(u) }
+// master's dataport. Results of enveloped jobs are tagged on the way out.
+func (w *Worker) Write(u manifold.Unit) {
+	if w.fault == FaultCorrupt {
+		u = CorruptUnit{Worker: w.p.Name()}
+		w.fault = FaultNone
+	}
+	if w.tagged {
+		u = resultEnvelope{ID: w.id, Unit: u}
+	}
+	w.p.Output().Write(u)
+}
 
 // MasterFunc is the master computation: everything the legacy main program
 // does except the work delegated to workers.
@@ -113,9 +170,12 @@ type MasterFunc func(*Master)
 type WorkerFunc func(*Worker)
 
 // WorkerFailure is delivered to the master's dataport when a worker body
-// panics, so the master is never left waiting on a dead worker.
+// panics, so the master is never left waiting on a dead worker. JobID is
+// the pool-local job the worker had read, or -1 when it failed before
+// reading one.
 type WorkerFailure struct {
 	Worker string
+	JobID  int
 	Reason any
 }
 
@@ -123,19 +183,94 @@ func (f WorkerFailure) Error() string {
 	return fmt.Sprintf("core: worker %s failed: %v", f.Worker, f.Reason)
 }
 
+// runState is the bookkeeping one Run shares between the master handle and
+// the coordinator: the policy, the per-worker death flags backing the
+// raise-exactly-once guarantee, and the failure statistics.
+type runState struct {
+	policy Policy
+
+	mu        sync.Mutex
+	dead      map[*manifold.Process]bool
+	stats     Stats
+	abandoned int
+}
+
+func newRunState(policy Policy) *runState {
+	return &runState{policy: policy, dead: make(map[*manifold.Process]bool)}
+}
+
+// markDead flips the worker's death flag and reports whether the caller won
+// the race and must raise death_worker. Both the worker's protocol wrapper
+// (normal death) and the master (abandonment) call it; exactly one raise
+// happens per worker, so the rendezvous count is always Workers.
+func (st *runState) markDead(w *manifold.Process) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead[w] {
+		return false
+	}
+	st.dead[w] = true
+	return true
+}
+
+func (st *runState) addWorker() {
+	st.mu.Lock()
+	st.stats.Workers++
+	st.mu.Unlock()
+}
+
+func (st *runState) addDeath() {
+	st.mu.Lock()
+	st.stats.Deaths++
+	st.mu.Unlock()
+}
+
+func (st *runState) addFailure() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.Failures++
+	return st.stats.Failures
+}
+
+func (st *runState) addRetry() {
+	st.mu.Lock()
+	st.stats.Retries++
+	st.mu.Unlock()
+}
+
+func (st *runState) addAbandoned() {
+	st.mu.Lock()
+	st.stats.Abandoned++
+	st.abandoned++
+	st.mu.Unlock()
+}
+
+func (st *runState) snapshot() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
 // Run executes one application under the master/worker protocol: it
 // creates the master process and the coordinator (the paper's Main
 // manifold calling ProtocolMW), activates them and blocks until every
 // process has terminated.
 func Run(masterFn MasterFunc, workerFn WorkerFunc) {
+	RunPolicy(masterFn, workerFn, Policy{})
+}
+
+// RunPolicy is Run under an explicit fault-tolerance policy; it returns the
+// run's failure statistics. With a zero Policy it behaves exactly like Run.
+func RunPolicy(masterFn MasterFunc, workerFn WorkerFunc, policy Policy) Stats {
+	st := newRunState(policy)
 	env := manifold.NewEnv()
 	master := env.NewProcess("Master", func(p *manifold.Process) {
-		masterFn(&Master{p: p})
+		masterFn(&Master{p: p, state: st})
 	}, "dataport")
 	master.Observe(EvARendezvous)
 
 	coord := env.NewProcess("Main", func(p *manifold.Process) {
-		protocolMW(p, master, workerFn)
+		protocolMW(p, master, workerFn, st)
 	})
 	coord.Observe(EvCreatePool, EvCreateWorker, EvRendezvous, EvFinished, EvDeathWorker)
 
@@ -143,13 +278,23 @@ func Run(masterFn MasterFunc, workerFn WorkerFunc) {
 	master.Activate()
 	master.Terminated()
 	coord.Terminated()
-	env.Wait()
+	st.mu.Lock()
+	abandoned := st.abandoned
+	st.mu.Unlock()
+	// An abandoned worker's goroutine may be hung indefinitely; the
+	// protocol has already raised its death and discarded its results, so
+	// the run does not wait for it (the goroutine is left to finish or leak
+	// in the background). Fault-free runs drain completely, as before.
+	if abandoned == 0 {
+		env.Wait()
+	}
+	return st.snapshot()
 }
 
 // protocolMW is the paper's ProtocolMW manner: in its begin state it waits
 // for events raised by the (already active) master; create_pool calls the
 // Create_Worker_Pool manner, finished halts.
-func protocolMW(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc) {
+func protocolMW(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc, st *runState) {
 	for {
 		occ := coord.Wait(
 			manifold.From(EvCreatePool, master),
@@ -157,7 +302,7 @@ func protocolMW(coord *manifold.Process, master *manifold.Process, workerFn Work
 		)
 		switch occ.Event {
 		case EvCreatePool:
-			createWorkerPool(coord, master, workerFn)
+			createWorkerPool(coord, master, workerFn, st)
 			// post(begin): fall through to waiting again.
 		case EvFinished:
 			return // halt
@@ -168,7 +313,7 @@ func protocolMW(coord *manifold.Process, master *manifold.Process, workerFn Work
 // workerSeq numbers workers across pools for readable process names.
 // Access is confined to the coordinator goroutine of one Run; a global
 // would race across concurrent Runs, so it lives in the pool call.
-func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc) {
+func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerFn WorkerFunc, st *runState) {
 	now := 0 // Number Of Workers created (the paper's `now` variable)
 	t := 0   // dead workers counted (the paper's `t` variable)
 	var scope manifold.Scope
@@ -187,19 +332,37 @@ func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerF
 			// stream stays intact.
 			scope.Dismantle()
 
+			// Faults are drawn here, in the coordinator goroutine, so a
+			// seeded injector assigns them deterministically in worker
+			// creation order.
+			fault := FaultNone
+			var hangFor time.Duration
+			if inj := st.policy.Injector; inj != nil {
+				fault = inj.draw()
+				hangFor = inj.HangFor()
+			}
 			name := fmt.Sprintf("Worker-%d", now+1)
 			w := env.NewProcess(name, func(p *manifold.Process) {
+				wk := &Worker{p: p, id: -1, fault: fault, hangFor: hangFor}
 				defer func() {
 					if r := recover(); r != nil {
 						// Deliver the failure where the master is
 						// listening, then die normally so the rendezvous
-						// count stays correct.
-						p.Output().Write(WorkerFailure{Worker: p.Name(), Reason: r})
+						// count stays correct. An abandoned worker's death
+						// was already raised on its behalf; markDead
+						// suppresses the duplicate.
+						p.Output().Write(WorkerFailure{Worker: p.Name(), JobID: wk.id, Reason: r})
 					}
-					p.Raise(EvDeathWorker)
+					if st.markDead(p) {
+						p.Raise(EvDeathWorker)
+					}
 				}()
-				workerFn(&Worker{p: p})
+				if wk.fault == FaultPanicPreRead {
+					panic(InjectedFault{Kind: FaultPanicPreRead})
+				}
+				workerFn(wk)
 			})
+			st.addWorker()
 
 			// The stream configuration of the paper's line 36:
 			//   &worker -> master -> worker -> master.dataport
@@ -214,6 +377,7 @@ func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerF
 			for t < now {
 				coord.Wait(manifold.On(EvDeathWorker))
 				t++
+				st.addDeath()
 			}
 			scope.Dismantle()
 			coord.Raise(EvARendezvous)

@@ -1,0 +1,101 @@
+package manifold
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReadWithinDeliversImmediately(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	Connect(a.Output(), b.Input(), BK)
+	a.Output().Write(7)
+	u, err := b.Input().ReadWithin(time.Second)
+	if err != nil || u.(int) != 7 {
+		t.Fatalf("ReadWithin = %v, %v", u, err)
+	}
+}
+
+func TestReadWithinTimesOut(t *testing.T) {
+	env := NewEnv()
+	b := env.NewProcess("b", nil)
+	start := time.Now()
+	_, err := b.Input().ReadWithin(30 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatalf("returned before the deadline")
+	}
+}
+
+func TestReadWithinWakesOnLateWrite(t *testing.T) {
+	env := NewEnv()
+	a := env.NewProcess("a", nil)
+	b := env.NewProcess("b", nil)
+	Connect(a.Output(), b.Input(), BK)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		a.Output().Write("late")
+	}()
+	u, err := b.Input().ReadWithin(5 * time.Second)
+	if err != nil || u != "late" {
+		t.Fatalf("ReadWithin = %v, %v", u, err)
+	}
+}
+
+func TestReadWithinClosedPort(t *testing.T) {
+	env := NewEnv()
+	b := env.NewProcess("b", nil)
+	b.Input().Close()
+	_, err := b.Input().ReadWithin(time.Second)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestWaitWithinConsumesOccurrence(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("p", nil)
+	p.Observe("tick")
+	q := env.NewProcess("q", nil)
+	q.Raise("tick")
+	occ, ok := p.WaitWithin(time.Second, On("tick"))
+	if !ok || occ.Event != "tick" || occ.Source != q {
+		t.Fatalf("WaitWithin = %v, %v", occ, ok)
+	}
+	if n := len(p.Memory().Pending()); n != 0 {
+		t.Fatalf("%d occurrences left in memory", n)
+	}
+}
+
+func TestWaitWithinTimesOut(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("p", nil)
+	p.Observe("never")
+	start := time.Now()
+	_, ok := p.WaitWithin(30*time.Millisecond, On("never"))
+	if ok {
+		t.Fatal("WaitWithin returned an occurrence out of thin air")
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("returned before the deadline")
+	}
+}
+
+func TestWaitWithinWakesOnLateRaise(t *testing.T) {
+	env := NewEnv()
+	p := env.NewProcess("p", nil)
+	p.Observe("go")
+	q := env.NewProcess("q", nil)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		q.Raise("go")
+	}()
+	occ, ok := p.WaitWithin(5*time.Second, On("go"))
+	if !ok || occ.Event != "go" {
+		t.Fatalf("WaitWithin = %v, %v", occ, ok)
+	}
+}

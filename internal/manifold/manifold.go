@@ -25,6 +25,7 @@ package manifold
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Unit is a datum flowing through a stream. Process references (*Process)
@@ -201,6 +202,12 @@ func (p *Process) Wait(labels ...Label) Occurrence {
 	return p.memory.wait(labels)
 }
 
+// WaitWithin is Wait with a deadline: it returns ok=false when no matching
+// occurrence arrives within d. Nothing is consumed on timeout.
+func (p *Process) WaitWithin(d time.Duration, labels ...Label) (Occurrence, bool) {
+	return p.memory.waitWithin(labels, d)
+}
+
 // Label matches event occurrences by name and, optionally, source.
 type Label struct {
 	Event  string
@@ -279,6 +286,33 @@ func (m *EventMemory) wait(labels []Label) Occurrence {
 			}
 		}
 		m.cond.Wait()
+	}
+}
+
+func (m *EventMemory) waitWithin(labels []Label, d time.Duration) (Occurrence, bool) {
+	deadline := time.Now().Add(d)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, l := range labels {
+			for i, o := range m.pending {
+				if o.Event == l.Event && (l.Source == nil || l.Source == o.Source) {
+					m.pending = append(m.pending[:i], m.pending[i+1:]...)
+					return o, true
+				}
+			}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Occurrence{}, false
+		}
+		t := time.AfterFunc(remaining, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		m.cond.Wait()
+		t.Stop()
 	}
 }
 

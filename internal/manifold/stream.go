@@ -1,9 +1,18 @@
 package manifold
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrTimeout is returned by deadline-aware reads and waits when the
+// deadline expires before a unit (or occurrence) arrives.
+var ErrTimeout = errors.New("manifold: deadline expired")
+
+// ErrClosed is returned by deadline-aware reads on a closed, drained port.
+var ErrClosed = errors.New("manifold: port closed")
 
 // Port is an opening in a process's bounding wall. A process reads units
 // from its own ports and writes units to its own ports; it is always a
@@ -86,6 +95,37 @@ func (pt *Port) MustRead() Unit {
 		panic(fmt.Sprintf("manifold: read on closed port %s", pt))
 	}
 	return u
+}
+
+// ReadWithin blocks like Read but gives up after d: it returns ErrTimeout
+// when no unit arrives within the deadline and ErrClosed when the port has
+// been closed and drained. A master with a deadline on a worker uses this
+// so that it is never stuck forever on a hung producer.
+func (pt *Port) ReadWithin(d time.Duration) (Unit, error) {
+	deadline := time.Now().Add(d)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for len(pt.queue) == 0 && !pt.closed {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, ErrTimeout
+		}
+		// sync.Cond has no timed wait; a timer broadcast stands in for one.
+		// A spurious broadcast after Stop is harmless: the loop re-checks.
+		t := time.AfterFunc(remaining, func() {
+			pt.mu.Lock()
+			pt.cond.Broadcast()
+			pt.mu.Unlock()
+		})
+		pt.cond.Wait()
+		t.Stop()
+	}
+	if len(pt.queue) == 0 {
+		return nil, ErrClosed
+	}
+	u := pt.queue[0]
+	pt.queue = pt.queue[1:]
+	return u, nil
 }
 
 // TryRead returns the next unit without blocking.

@@ -1,0 +1,125 @@
+package mwsim
+
+import (
+	"testing"
+)
+
+// crashed returns a level-7 paper config with one machine crash injected.
+func crashed(machine string, at float64) Config {
+	cfg := PaperConfig(2, 7, 1e-3)
+	cfg.Faults = []MachineFault{{Machine: machine, AtSec: at, Kind: "crash"}}
+	return cfg
+}
+
+func TestCrashRecoveryTimeline(t *testing.T) {
+	// diplice (the first locus machine) dies mid-run with a worker on it:
+	// the in-flight subsolve is lost, the master pays the detection latency
+	// and re-forks the job on another machine, and the run still completes
+	// with every grid solved and a terminating rendezvous.
+	base := Run(PaperConfig(2, 7, 1e-3))
+	r := Run(crashed("diplice", 15))
+	if r.Lost != 1 || r.Retries != 1 {
+		t.Fatalf("lost=%d retries=%d, want 1/1", r.Lost, r.Retries)
+	}
+	if r.ConcurrentSec <= base.ConcurrentSec {
+		t.Fatalf("ct = %g not above fault-free %g: recovery cost vanished",
+			r.ConcurrentSec, base.ConcurrentSec)
+	}
+	if over := r.ConcurrentSec - base.ConcurrentSec; over > 10 {
+		t.Fatalf("recovery overhead %g s, want detection + re-dispatch only", over)
+	}
+	// The trace must show the crash: the machine count drops at t=15 and
+	// recovers when the replacement worker is forked.
+	drop, regrow := false, false
+	prev := 0
+	for _, pt := range r.Trace {
+		if pt.T == 15 && pt.Count < prev {
+			drop = true
+		}
+		if drop && pt.T > 15 && pt.T < r.ConcurrentSec && pt.Count > prev {
+			regrow = true
+		}
+		prev = pt.Count
+	}
+	if !drop || !regrow {
+		t.Fatalf("trace %v shows drop=%v regrow=%v, want the crash and the re-fork", r.Trace, drop, regrow)
+	}
+	if last := r.Trace[len(r.Trace)-1]; last.Count != 0 {
+		t.Fatalf("final machine count %d, want 0", last.Count)
+	}
+}
+
+func TestCrashRecoveryPerpetualAblation(t *testing.T) {
+	// The same early crash under {perpetual} on and off: both deployments
+	// must lose the worker and recover; reuse keeps the perpetual run's
+	// fork count (and clock) well below the fork-per-worker ablation.
+	perp := Run(crashed("diplice", 7))
+	cfg := crashed("diplice", 7)
+	cfg.Perpetual = false
+	nonperp := Run(cfg)
+	if perp.Lost != 1 || nonperp.Lost != 1 {
+		t.Fatalf("lost = %d / %d, want 1 in both deployments", perp.Lost, nonperp.Lost)
+	}
+	if perp.Retries != 1 || nonperp.Retries != 1 {
+		t.Fatalf("retries = %d / %d, want 1 in both deployments", perp.Retries, nonperp.Retries)
+	}
+	if perp.Forks >= nonperp.Forks {
+		t.Fatalf("perpetual forks %d >= non-perpetual %d", perp.Forks, nonperp.Forks)
+	}
+	if perp.ConcurrentSec >= nonperp.ConcurrentSec {
+		t.Fatalf("perpetual ct %g >= non-perpetual %g", perp.ConcurrentSec, nonperp.ConcurrentSec)
+	}
+	if last := nonperp.Trace[len(nonperp.Trace)-1]; last.Count != 0 {
+		t.Fatalf("non-perpetual run left %d machines alive", last.Count)
+	}
+}
+
+func TestSlowNodeFault(t *testing.T) {
+	// A slow node (the paper's multi-user perturbation, writ large) delays
+	// the run but loses nothing — no retry, no re-fork.
+	base := Run(PaperConfig(2, 7, 1e-3))
+	cfg := PaperConfig(2, 7, 1e-3)
+	cfg.Faults = []MachineFault{{Machine: "diplice", AtSec: 0, Kind: "slow", Factor: 5}}
+	r := Run(cfg)
+	if r.Lost != 0 || r.Retries != 0 {
+		t.Fatalf("lost=%d retries=%d, want 0/0 for a slow node", r.Lost, r.Retries)
+	}
+	if r.ConcurrentSec <= base.ConcurrentSec {
+		t.Fatalf("ct = %g not above fault-free %g", r.ConcurrentSec, base.ConcurrentSec)
+	}
+	if r.Forks != base.Forks {
+		t.Fatalf("forks = %d, want the fault-free %d", r.Forks, base.Forks)
+	}
+}
+
+func TestIgnoredFaults(t *testing.T) {
+	// Faults on unknown machines and crashes on the master's own host are
+	// ignored: the run is bit-for-bit the fault-free timeline.
+	base := Run(PaperConfig(2, 7, 1e-3))
+	for _, f := range []MachineFault{
+		{Machine: "ghost", AtSec: 10, Kind: "crash"},
+		{Machine: "bumpa", AtSec: 10, Kind: "crash"},
+	} {
+		cfg := PaperConfig(2, 7, 1e-3)
+		cfg.Faults = []MachineFault{f}
+		r := Run(cfg)
+		if r.ConcurrentSec != base.ConcurrentSec || r.Lost != 0 || r.Forks != base.Forks {
+			t.Fatalf("fault %+v changed the run: ct %g vs %g, lost %d",
+				f, r.ConcurrentSec, base.ConcurrentSec, r.Lost)
+		}
+	}
+}
+
+func TestCrashWithIOWorkers(t *testing.T) {
+	// The §4.1 I/O-worker alternative must interoperate with the failure
+	// model: the replacement job's data moves through an I/O worker too.
+	cfg := crashed("diplice", 15)
+	cfg.IOWorkers = true
+	r := Run(cfg)
+	if r.Lost != 1 || r.Retries != 1 {
+		t.Fatalf("lost=%d retries=%d, want 1/1", r.Lost, r.Retries)
+	}
+	if last := r.Trace[len(r.Trace)-1]; last.Count != 0 {
+		t.Fatalf("final machine count %d, want 0", last.Count)
+	}
+}

@@ -73,6 +73,31 @@ type Config struct {
 	// Unknown names are ignored; an empty result falls back to every
 	// machine except the start-up one.
 	LociNames []string
+
+	// Faults injects machine-level failures into the run: crashes that
+	// lose the machine's task instances and in-flight workers, and
+	// slowdowns that stretch its computations. Faults naming unknown
+	// machines, and crash faults naming the start-up machine (the master
+	// cannot lose its own host), are ignored.
+	Faults []MachineFault
+	// DetectSec is the failure-detection latency: how long after a crash
+	// the master learns that a worker was lost and re-forks its job on
+	// another machine. 0 means instant detection.
+	DetectSec float64
+}
+
+// MachineFault schedules one machine-level failure.
+type MachineFault struct {
+	// Machine is the host name, with or without the ".sen.cwi.nl" suffix.
+	Machine string
+	// AtSec is the virtual time of the fault.
+	AtSec float64
+	// Kind is "crash" (the machine dies) or "slow" (it keeps running at
+	// reduced speed).
+	Kind string
+	// Factor is the slowdown factor for "slow" faults (3 = a third of the
+	// original speed); ignored for crashes.
+	Factor float64
 }
 
 // FromDeployment derives the deployment-dependent fields of a Config from
@@ -117,6 +142,7 @@ func PaperConfig(root, level int, tol float64) Config {
 		IdleTimeoutSec: 30,
 		Perpetual:      true,
 		MaxLoad:        1,
+		DetectSec:      5,
 	}
 }
 
@@ -139,6 +165,11 @@ type Result struct {
 	Workers int
 	// Forks and Reuses split worker placements by task-instance fate.
 	Forks, Reuses int
+	// Lost counts workers that died with their crashed machine.
+	Lost int
+	// Retries counts jobs re-dispatched to a replacement worker after a
+	// loss (equal to Lost when every loss is recovered).
+	Retries int
 	// Trace is the machines-in-use step function (Figure 1).
 	Trace []cluster.UsagePoint
 }
@@ -207,9 +238,36 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 		pools = [][]grid.Grid{fam}
 	}
 
-	results := sim.NewStore[grid.Grid](env, "dataport")
+	// Schedule the machine faults. Crashes both mark the machine (so
+	// in-flight ComputeChecked calls observe the loss) and kill its task
+	// instances at the crash instant (so the usage trace records the drop).
+	for _, f := range cfg.Faults {
+		m := cl.MachineByName(f.Machine)
+		if m == nil {
+			m = cl.MachineByName(f.Machine + ".sen.cwi.nl")
+		}
+		if m == nil {
+			continue // unknown machine: ignored
+		}
+		switch f.Kind {
+		case "slow":
+			m.SlowFrom(f.AtSec, f.Factor)
+		case "crash":
+			if m == masterHost {
+				continue // the master cannot lose its own host
+			}
+			m.FailAt(f.AtSec)
+			mm := m
+			env.SpawnAt(f.AtSec, "crash:"+mm.Name(), func(*sim.Proc) {
+				spawner.KillHost(mm)
+			})
+		}
+	}
+
+	results := sim.NewStore[arrival](env, "dataport")
 	deaths := sim.NewStore[struct{}](env, "death_worker")
 	var end sim.Time
+	lost, retries := 0, 0
 
 	env.Spawn("Master", func(p *sim.Proc) {
 		// MANIFOLD runtime start-up; the start-up task instance houses the
@@ -219,34 +277,50 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 		// Sequential initialization work of the legacy code.
 		cl.Compute(p, masterHost, model.InitMc)
 
+		// dispatch charges one worker with grid g: the coordinator forks or
+		// reuses a task instance (the master waits for the worker
+		// reference), then the job data moves — on the master's own time
+		// line unless I/O workers carry it (step 3d).
+		dispatch := func(g grid.Grid) {
+			p.Hold(cfg.EventSec) // raise create_worker
+			ti := spawner.Place(p, 1)
+			if cfg.IOWorkers {
+				env.Spawn("io-out", func(io *sim.Proc) {
+					cl.Transfer(io, masterHost, ti.Host, workmodel.JobBytes(g))
+					startWorker(env, cl, spawner, cfg, g, ti, masterHost, results, deaths)
+				})
+			} else {
+				cl.Transfer(p, masterHost, ti.Host, workmodel.JobBytes(g))
+				startWorker(env, cl, spawner, cfg, g, ti, masterHost, results, deaths)
+			}
+		}
+
 		for _, pool := range pools {
 			p.Hold(cfg.EventSec) // raise create_pool
 			for _, g := range pool {
-				g := g
-				p.Hold(cfg.EventSec) // raise create_worker
-				// The coordinator forks or reuses a task instance; the
-				// master waits for the worker reference.
-				ti := spawner.Place(p, 1)
-				// Step 3d: write the worker's job. The master's own time
-				// line carries the transfer unless I/O workers do.
-				if cfg.IOWorkers {
-					env.Spawn("io-out", func(io *sim.Proc) {
-						cl.Transfer(io, masterHost, ti.Host, workmodel.JobBytes(g))
-						startWorker(env, cl, spawner, cfg, g, ti, masterHost, results, deaths)
-					})
-				} else {
-					cl.Transfer(p, masterHost, ti.Host, workmodel.JobBytes(g))
-					startWorker(env, cl, spawner, cfg, g, ti, masterHost, results, deaths)
+				dispatch(g)
+			}
+			// Step 3f: collect the pool's results. A failed arrival means a
+			// machine crash took the worker with it: the master — already
+			// past the detection latency — re-forks the job on a machine
+			// that is still alive.
+			workers := len(pool)
+			for done := 0; done < len(pool); {
+				a := results.Get(p)
+				if a.ok {
+					done++
+					continue
 				}
+				lost++
+				retries++
+				workers++
+				dispatch(a.g)
 			}
-			// Step 3f: collect the pool's results.
-			for range pool {
-				results.Get(p)
-			}
-			// Steps 3g/3h: rendezvous — the coordinator counts the
-			// death_worker events.
+			// Steps 3g/3h: rendezvous — the coordinator counts one
+			// death_worker per worker created for this pool, lost workers
+			// included, so the barrier terminates under faults.
 			p.Hold(cfg.EventSec) // raise rendezvous
-			for range pool {
+			for i := 0; i < workers; i++ {
 				deaths.Get(p)
 			}
 			p.Hold(cfg.EventSec) // a_rendezvous
@@ -274,6 +348,8 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 		Workers:       len(fam),
 		Forks:         spawner.Forks(),
 		Reuses:        spawner.Reuses(),
+		Lost:          lost,
+		Retries:       retries,
 		Trace:         trace.Points(),
 	}
 	if end > 0 {
@@ -282,18 +358,40 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 	return res
 }
 
+// arrival is one dataport delivery: either a worker's result for grid g, or
+// — when a machine crash took the worker — the master's delayed discovery
+// that the job was lost and must be re-dispatched.
+type arrival struct {
+	g  grid.Grid
+	ok bool
+}
+
 // startWorker launches the simulated worker: compute on the task
 // instance's host, ship the result back through the master's NIC, signal
-// the dataport and die.
+// the dataport and die. If the host crashes first, the worker is lost: the
+// master learns of the loss DetectSec after the crash, and the coordinator
+// raises the lost worker's death_worker on its behalf so the rendezvous
+// count stays correct.
 func startWorker(env *sim.Env, cl *cluster.Cluster, spawner *cluster.Spawner,
 	cfg Config, g grid.Grid, ti *cluster.TaskInstance, masterHost *cluster.Machine,
-	results *sim.Store[grid.Grid], deaths *sim.Store[struct{}]) {
+	results *sim.Store[arrival], deaths *sim.Store[struct{}]) {
 
 	env.Spawn(fmt.Sprintf("Worker(%d,%d)", g.L1, g.L2), func(w *sim.Proc) {
 		w.Hold(cfg.WorkerSetupSec)
-		cl.Compute(w, ti.Host, cfg.Model.GridWork(g, cfg.Tol))
-		cl.Transfer(w, ti.Host, masterHost, workmodel.ResultBytes(g))
-		results.Put(g)
+		ok := cl.ComputeChecked(w, ti.Host, cfg.Model.GridWork(g, cfg.Tol))
+		if ok {
+			cl.Transfer(w, ti.Host, masterHost, workmodel.ResultBytes(g))
+			ok = ti.Host.AliveAt(w.Now()) // host may die mid-transfer
+		}
+		if !ok {
+			if detectAt := ti.Host.CrashTime() + cfg.DetectSec; detectAt > w.Now() {
+				w.Hold(detectAt - w.Now())
+			}
+			results.Put(arrival{g: g, ok: false})
+			deaths.Put(struct{}{}) // raised on the lost worker's behalf
+			return                 // the task instance died with its machine
+		}
+		results.Put(arrival{g: g, ok: true})
 		w.Hold(cfg.EventSec) // raise death_worker
 		deaths.Put(struct{}{})
 		spawner.Leave(ti, 1)

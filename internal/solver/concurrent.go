@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -33,6 +34,12 @@ type jobResult struct {
 // of internal/core. Workers run concurrently (as goroutines — MANIFOLD
 // threads); the results are combined in the same family order as the
 // sequential version, so the output is bit-for-bit identical.
+//
+// The run is fault tolerant under the Params policy: failed workers
+// (panics, missed deadlines, corrupt results) have their jobs resubmitted
+// to fresh workers within the retry budget, and — with Fallback — jobs
+// that exhaust their retries are computed master-locally, so even a run
+// that loses workers still completes with the sequential answer.
 func Concurrent(p Params) (*Output, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
@@ -45,38 +52,72 @@ func Concurrent(p Params) (*Output, error) {
 	}
 	results := make([]Result, len(fam))
 	var masterErr error
+	fallbacks := 0
 
-	core.Run(func(m *core.Master) {
+	policy := core.Policy{
+		Retries:        p.Retries,
+		FailureBudget:  p.FailureBudget,
+		WorkerDeadline: p.WorkerDeadline,
+		Injector:       p.Faults,
+		// A result that is not a jobResult (e.g. an injected CorruptUnit)
+		// counts as a failed attempt and is retried; a jobResult carrying a
+		// solver error is a deterministic application failure, which a
+		// retry cannot fix, so it passes through to the master.
+		Validate: func(u any) error {
+			if _, ok := u.(jobResult); !ok {
+				return fmt.Errorf("solver: unexpected unit %T on dataport", u)
+			}
+			return nil
+		},
+	}
+
+	record := func(r jobResult) {
+		if r.err != nil {
+			if masterErr == nil {
+				masterErr = r.err
+			}
+			return
+		}
+		i, ok := index[r.res.Grid]
+		if !ok {
+			if masterErr == nil {
+				masterErr = fmt.Errorf("solver: result for unexpected grid %v", r.res.Grid)
+			}
+			return
+		}
+		results[i] = r.res
+	}
+
+	stats := core.RunPolicy(func(m *core.Master) {
 		// Step 2: initialization work happened in the caller (parameter
 		// validation, family layout). Step 3: one pool for all grids of
-		// the nested loop, one worker per grid.
-		m.CreatePool()
+		// the nested loop, one worker per grid — plus retry workers for
+		// jobs whose worker was lost.
+		pool := m.NewPool()
 		for _, g := range fam {
-			m.CreateWorker()
-			m.Send(Job{Grid: g, Prob: p.Problem, Tol: p.Tol, TEnd: p.TEnd, Lin: p.Solver})
+			pool.Submit(Job{Grid: g, Prob: p.Problem, Tol: p.Tol, TEnd: p.TEnd, Lin: p.Solver})
 		}
 		// Step 3f: collect results (they arrive in completion order).
 		for range fam {
-			switch r := m.ReadResult().(type) {
-			case jobResult:
-				if r.err != nil {
-					if masterErr == nil {
-						masterErr = r.err
-					}
+			u, err := pool.Collect()
+			if err == nil {
+				record(u.(jobResult))
+				continue
+			}
+			var jf *core.JobFailed
+			if errors.As(err, &jf) && p.Fallback {
+				// Graceful degradation: the job exhausted its retries, so
+				// the master performs the Subsolve itself — the same
+				// deterministic computation a worker would have run.
+				if job, ok := jf.Job.(Job); ok {
+					fallbacks++
+					res, serr := SubsolveInto(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, nil)
+					record(jobResult{res: res, err: serr})
 					continue
 				}
-				i, ok := index[r.res.Grid]
-				if !ok {
-					masterErr = fmt.Errorf("solver: result for unexpected grid %v", r.res.Grid)
-					continue
-				}
-				results[i] = r.res
-			case core.WorkerFailure:
-				if masterErr == nil {
-					masterErr = r
-				}
-			default:
-				masterErr = fmt.Errorf("solver: unexpected unit %T on dataport", r)
+			}
+			if masterErr == nil {
+				masterErr = err
 			}
 		}
 		// Steps 3g/3h and 4.
@@ -91,12 +132,24 @@ func Concurrent(p Params) (*Output, error) {
 		job := w.Read().(Job)
 		res, err := SubsolveInto(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws)
 		w.Write(jobResult{res: res, err: err})
-	})
+	}, policy)
 
 	if masterErr != nil {
 		return nil, masterErr
 	}
 	// Step 5: the master's final sequential computation — the
 	// prolongation (combination) work.
-	return combine(p, results)
+	out, err := combine(p, results)
+	if err != nil {
+		return nil, err
+	}
+	out.Faults = FaultStats{
+		Workers:   stats.Workers,
+		Deaths:    stats.Deaths,
+		Failures:  stats.Failures,
+		Retries:   stats.Retries,
+		Abandoned: stats.Abandoned,
+		Fallbacks: fallbacks,
+	}
+	return out, nil
 }

@@ -21,7 +21,9 @@ package solver
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/linalg"
 	"repro/internal/pde"
@@ -51,6 +53,26 @@ type Params struct {
 	// Solver selects the inner linear solver of the Rosenbrock stages;
 	// the zero value is BiCGStab.
 	Solver rosenbrock.LinearSolver
+
+	// Retries is the per-job retry budget of the concurrent driver: a job
+	// whose worker fails (panic, deadline, corrupt result) is resubmitted
+	// to a freshly created worker this many times before it is treated as
+	// permanently failed.
+	Retries int
+	// FailureBudget caps the total failed worker attempts tolerated per
+	// concurrent run; beyond it the run aborts. 0 means unlimited.
+	FailureBudget int
+	// WorkerDeadline bounds how long the master waits for any single
+	// worker before abandoning it and retrying its job. 0 means no
+	// deadline.
+	WorkerDeadline time.Duration
+	// Faults, when non-nil, injects worker faults (panic, hang, corrupt)
+	// into the concurrent run — tests and the sparsegrid -faults flag.
+	Faults *core.FaultInjector
+	// Fallback makes jobs that exhaust their retry budget degrade
+	// gracefully to a master-local Subsolve call, so the combination still
+	// completes bit-for-bit identical to the sequential run.
+	Fallback bool
 }
 
 func (p Params) withDefaults() Params {
@@ -127,6 +149,24 @@ func SubsolveInto(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock
 	return Result{Grid: g, U: u, Stats: stats}, nil
 }
 
+// FaultStats accounts the failure handling of one concurrent run.
+type FaultStats struct {
+	// Workers counts worker processes created, retries included.
+	Workers int
+	// Deaths counts death_worker events; a correct rendezvous has
+	// Deaths == Workers, faults or not.
+	Deaths int
+	// Failures counts failed worker attempts.
+	Failures int
+	// Retries counts jobs resubmitted to fresh workers.
+	Retries int
+	// Abandoned counts workers given up on past their deadline.
+	Abandoned int
+	// Fallbacks counts jobs that exhausted their retries and were computed
+	// master-locally instead.
+	Fallbacks int
+}
+
 // Output is the end product of a run: the combined (prolongated) solution
 // on the evaluation grid plus the per-grid results in family order.
 type Output struct {
@@ -135,6 +175,9 @@ type Output struct {
 	Results  []Result
 	// TotalFlops sums the floating-point work of all Subsolve calls.
 	TotalFlops int64
+	// Faults reports the failure/retry accounting of a concurrent run
+	// (zero for sequential runs and fault-free concurrent runs).
+	Faults FaultStats
 }
 
 // combine prolongates the per-grid solutions and applies the combination
