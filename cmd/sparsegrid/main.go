@@ -13,31 +13,51 @@
 // workers produces output identical to the sequential version.
 //
 //	sparsegrid -mode both -faults 'seed=42,panic=0.2,hang=0.1' -retries 3
+//
+// Observability: -trace exports the run's events as a chronological
+// paper-style (§6) two-line trace, -timeline exports them as JSON lines,
+// and -metrics prints the per-run metrics summary (event totals, counters,
+// per-grid subsolve duration histograms). Each flag takes a file name, or
+// "-" for stdout. Without these flags the recorder is never created and
+// the run pays nothing.
+//
+//	sparsegrid -root 2 -level 5 -mode conc -trace - -metrics -
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
 func main() {
 	var (
-		root    = flag.Int("root", 2, "refinement level of the coarsest grid (argv[1])")
-		level   = flag.Int("level", 3, "additional refinement above the root level (argv[2])")
-		tol     = flag.Float64("tol", 1e-3, "tolerance of the integrator (argv[3])")
-		mode    = flag.String("mode", "both", "seq, conc, or both")
-		faults  = flag.String("faults", "", "worker fault injection spec, e.g. 'seed=42,panic=0.2,panicpre=0.1,hang=0.1,corrupt=0.1,hangfor=2s' (concurrent mode)")
-		retries = flag.Int("retries", 2, "per-job retry budget of the concurrent mode")
-		ddl     = flag.Duration("worker-deadline", 10*time.Second, "how long the master waits for one worker before abandoning it (0 = forever)")
-		budget  = flag.Int("failure-budget", 0, "total failed worker attempts tolerated per concurrent run (0 = unlimited)")
+		root     = flag.Int("root", 2, "refinement level of the coarsest grid (argv[1])")
+		level    = flag.Int("level", 3, "additional refinement above the root level (argv[2])")
+		tol      = flag.Float64("tol", 1e-3, "tolerance of the integrator (argv[3])")
+		mode     = flag.String("mode", "both", "seq, conc, or both")
+		faults   = flag.String("faults", "", "worker fault injection spec, e.g. 'seed=42,panic=0.2,panicpre=0.1,hang=0.1,corrupt=0.1,hangfor=2s' (concurrent mode)")
+		retries  = flag.Int("retries", 2, "per-job retry budget of the concurrent mode")
+		ddl      = flag.Duration("worker-deadline", 10*time.Second, "how long the master waits for one worker before abandoning it (0 = forever)")
+		budget   = flag.Int("failure-budget", 0, "total failed worker attempts tolerated per concurrent run (0 = unlimited)")
+		traceOut = flag.String("trace", "", "write the run's events as a paper-style (§6) chronological trace to this file ('-' = stdout)")
+		timeline = flag.String("timeline", "", "write the run's events as a JSON-lines timeline to this file ('-' = stdout)")
+		metrics  = flag.String("metrics", "", "write the per-run metrics summary (event totals, counters, histograms) to this file ('-' = stdout)")
 	)
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *traceOut != "" || *timeline != "" || *metrics != "" {
+		rec = obs.NewRecorder(0)
+		rec.AppName = "sparsegrid"
+	}
 
 	p := solver.Params{
 		Root: *root, Level: *level, Tol: *tol,
@@ -45,6 +65,7 @@ func main() {
 		FailureBudget:  *budget,
 		WorkerDeadline: *ddl,
 		Fallback:       true,
+		Obs:            rec,
 	}
 	if *faults != "" {
 		inj, err := core.ParseFaultSpec(*faults)
@@ -97,6 +118,31 @@ func main() {
 			fmt.Printf("results: DIFFER by %g\n", d)
 			os.Exit(1)
 		}
+	}
+	export(*traceOut, rec.WriteTrace)
+	export(*timeline, rec.WriteJSONL)
+	export(*metrics, rec.WriteMetrics)
+}
+
+// export writes one observability view to the named file ('-' = stdout,
+// empty = disabled).
+func export(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -21,7 +21,14 @@ type Figure1Result struct {
 // Figure1 regenerates the paper's Figure 1: the number of machines in use
 // over the course of one concurrent run.
 func Figure1(root, level int, tol float64) Figure1Result {
-	r := mwsim.Run(mwsim.PaperConfig(root, level, tol))
+	return Figure1Config(mwsim.PaperConfig(root, level, tol))
+}
+
+// Figure1Config is Figure1 from an explicit simulator configuration, so a
+// caller can customize the run — e.g. attach an observability recorder and
+// export the virtual-time timeline alongside the plot.
+func Figure1Config(cfg mwsim.Config) Figure1Result {
+	r := mwsim.Run(cfg)
 	return Figure1Result{
 		Trace:       r.Trace,
 		DurationSec: r.ConcurrentSec,

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -122,9 +123,22 @@ type Cluster struct {
 	// +/-5%). Only used when Noise is non-nil.
 	NoiseAmplitude float64
 
+	// Obs, when non-nil, records task-instance lifecycle events (fork,
+	// adopt, reuse, kill) stamped with the virtual clock, so a simulated run
+	// exports the same timeline formats as a live one. Nil costs nothing.
+	Obs *obs.Recorder
+
 	trace  UsageTrace
 	nextID int
 	alive  int
+}
+
+// emit records one virtual-time event on the cluster recorder (no-op when
+// observability is off).
+func (c *Cluster) emit(k obs.Kind, host string, a, b int64) {
+	if c.Obs != nil {
+		c.Obs.EmitAt(int64(c.Env.Now()*1e6), k, host, "Spawner", "", a, b)
+	}
 }
 
 // New builds a cluster over the given simulation environment.
@@ -313,6 +327,7 @@ func (s *Spawner) Place(p *sim.Proc, weight int) *TaskInstance {
 			t.load += weight
 			t.idleEpoch++ // invalidate any pending reap
 			s.reuses++
+			s.Cluster.emit(obs.KTaskReuse, t.Host.Name(), int64(t.ID), int64(t.load))
 			return t
 		}
 	}
@@ -341,6 +356,7 @@ func (s *Spawner) Place(p *sim.Proc, weight int) *TaskInstance {
 	}
 	s.tasks = append(s.tasks, t)
 	c.markAlive(1)
+	c.emit(obs.KTaskFork, host.Name(), int64(t.ID), int64(t.load))
 	return t
 }
 
@@ -359,6 +375,7 @@ func (s *Spawner) Adopt(host *Machine, weight int) *TaskInstance {
 	}
 	s.tasks = append(s.tasks, t)
 	c.markAlive(1)
+	c.emit(obs.KTaskAdopt, host.Name(), int64(t.ID), int64(t.load))
 	return t
 }
 
@@ -417,6 +434,7 @@ func (s *Spawner) kill(t *TaskInstance) {
 	}
 	t.dead = true
 	s.Cluster.markAlive(-1)
+	s.Cluster.emit(obs.KTaskKill, t.Host.Name(), int64(t.ID), 0)
 }
 
 // KillHost kills every task instance living on machine m (the machine

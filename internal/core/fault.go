@@ -29,6 +29,7 @@ const (
 	FaultCorrupt
 )
 
+// String names the fault kind as it appears in -faults specs and reports.
 func (k FaultKind) String() string {
 	switch k {
 	case FaultNone:
@@ -54,6 +55,7 @@ type CorruptUnit struct{ Worker string }
 // distinguish injected faults from genuine worker bugs.
 type InjectedFault struct{ Kind FaultKind }
 
+// Error formats the injected fault as a failure cause.
 func (f InjectedFault) Error() string { return "core: injected fault: " + f.Kind.String() }
 
 // FaultInjector deterministically assigns a fault to every worker attempt.
@@ -120,9 +122,9 @@ func PlanFaults(hangFor time.Duration, kinds ...FaultKind) *FaultInjector {
 // Unknown keys are errors; omitted probabilities default to zero.
 func ParseFaultSpec(spec string) (*FaultInjector, error) {
 	var (
-		seed                      int64
+		seed                       int64
 		pPre, pPanic, pHang, pCorr float64
-		hangFor                   time.Duration
+		hangFor                    time.Duration
 	)
 	for _, kv := range strings.Split(spec, ",") {
 		kv = strings.TrimSpace(kv)

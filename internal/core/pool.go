@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/manifold"
+	"repro/internal/obs"
 )
 
 // Policy configures the fault tolerance of one Run.
@@ -40,6 +41,10 @@ type Policy struct {
 	// Validate, when non-nil, checks every successful result unit; an error
 	// counts as a failed attempt of that job (corrupt-result detection).
 	Validate func(result any) error
+	// Obs, when non-nil, records the run's protocol events (dispatches,
+	// retries, abandonments, rendezvous) and metrics into the observability
+	// layer; nil (the default) costs nothing on any path.
+	Obs *obs.Recorder
 }
 
 // Stats accounts the failure handling of one Run.
@@ -67,10 +72,12 @@ type JobFailed struct {
 	LastErr  error
 }
 
+// Error describes the exhausted job and its last failure cause.
 func (e *JobFailed) Error() string {
 	return fmt.Sprintf("core: job %d failed after %d attempts: %v", e.ID, e.Attempts, e.LastErr)
 }
 
+// Unwrap exposes the last failure cause to errors.Is/As chains.
 func (e *JobFailed) Unwrap() error { return e.LastErr }
 
 // BudgetExhausted reports that the run-level failure budget was spent.
@@ -78,6 +85,7 @@ type BudgetExhausted struct {
 	Failures, Budget int
 }
 
+// Error reports how far past the budget the run's failures went.
 func (e BudgetExhausted) Error() string {
 	return fmt.Sprintf("core: failure budget exhausted: %d failures > budget %d", e.Failures, e.Budget)
 }
@@ -88,6 +96,7 @@ type DeadlineExpired struct {
 	Deadline time.Duration
 }
 
+// Error names the abandoned worker and the deadline it missed.
 func (e DeadlineExpired) Error() string {
 	return fmt.Sprintf("core: worker %s missed its %v deadline", e.Worker, e.Deadline)
 }
@@ -112,6 +121,7 @@ type jobRec struct {
 	attempts int
 	worker   *manifold.Process
 	deadline time.Time // zero = none
+	started  time.Time // dispatch time of the current attempt (obs only)
 	lastErr  error
 }
 
@@ -120,21 +130,29 @@ type jobRec struct {
 // retrying failed attempts) and surfaces permanent failures as errors.
 type Pool struct {
 	m           *Master
-	outstanding map[int]*jobRec            // by job ID
-	byWorker    map[string]*jobRec         // by current worker name
-	pending     []error                    // permanent failures awaiting Collect
+	outstanding map[int]*jobRec    // by job ID
+	byWorker    map[string]*jobRec // by current worker name
+	pending     []error            // permanent failures awaiting Collect
 	nextID      int
 	budgetErr   error // sticky once the failure budget is exhausted
+
+	obs      *obs.Recorder  // nil = observability off
+	jobHist  *obs.Histogram // dispatch-to-result latency per attempt
+	outGauge *obs.Gauge     // outstanding jobs
 }
 
 // NewPool raises create_pool and returns the retry-aware pool handle
 // operating under the run's Policy.
 func (m *Master) NewPool() *Pool {
 	m.CreatePool()
+	rec := m.state.obs
 	return &Pool{
 		m:           m,
 		outstanding: make(map[int]*jobRec),
 		byWorker:    make(map[string]*jobRec),
+		obs:         rec,
+		jobHist:     rec.Histogram("core.job.attempt.us"),
+		outGauge:    rec.Gauge("core.jobs.outstanding"),
 	}
 }
 
@@ -158,6 +176,11 @@ func (pl *Pool) dispatch(rec *jobRec) {
 	}
 	pl.outstanding[rec.id] = rec
 	pl.byWorker[w.Name()] = rec
+	if pl.obs != nil {
+		rec.started = time.Now()
+		pl.obs.Emit(obs.KJobDispatch, w.Name(), "", int64(rec.id), int64(rec.attempts))
+		pl.outGauge.Set(int64(len(pl.outstanding)))
+	}
 	pl.m.Send(jobEnvelope{ID: rec.id, Job: rec.job})
 }
 
@@ -198,6 +221,11 @@ func (pl *Pool) Collect() (manifold.Unit, error) {
 			}
 			delete(pl.outstanding, rec.id)
 			delete(pl.byWorker, rec.worker.Name())
+			if pl.obs != nil {
+				pl.obs.Emit(obs.KJobResult, rec.worker.Name(), "", int64(rec.id), int64(rec.attempts))
+				pl.jobHist.ObserveSince(rec.started)
+				pl.outGauge.Set(int64(len(pl.outstanding)))
+			}
 			return v.Unit, nil
 		case WorkerFailure:
 			rec, ok := pl.byWorker[v.Worker]
@@ -270,10 +298,12 @@ func (pl *Pool) fail(rec *jobRec, cause error, abandon bool) {
 	}
 	if rec.attempts <= pl.m.policy().Retries {
 		pl.m.state.addRetry()
+		pl.obs.Emit(obs.KJobRetry, rec.worker.Name(), "", int64(rec.id), int64(rec.attempts))
 		pl.dispatch(rec)
 		return
 	}
 	delete(pl.outstanding, rec.id)
+	pl.obs.Emit(obs.KJobFailed, rec.worker.Name(), "", int64(rec.id), int64(rec.attempts))
 	pl.pending = append(pl.pending, &JobFailed{Job: rec.job, ID: rec.id, Attempts: rec.attempts, LastErr: cause})
 }
 
@@ -281,6 +311,7 @@ func (pl *Pool) fail(rec *jobRec, cause error, abandon bool) {
 // rendezvous still terminates) and the budget error becomes sticky.
 func (pl *Pool) exhaust(err BudgetExhausted) {
 	pl.budgetErr = err
+	pl.obs.Emit(obs.KBudgetExhausted, "Master", "", int64(err.Failures), int64(err.Budget))
 	for _, rec := range pl.outstanding {
 		pl.m.abandon(rec.worker)
 	}

@@ -23,11 +23,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/manifold"
+	"repro/internal/obs"
 )
 
 // Event names of the master/worker protocol, as in the paper's MANIFOLD
@@ -56,7 +59,10 @@ func (m *Master) Process() *manifold.Process { return m.p }
 
 // CreatePool requests the coordinator to create an empty pool of workers
 // (step 3a).
-func (m *Master) CreatePool() { m.p.Raise(EvCreatePool) }
+func (m *Master) CreatePool() {
+	m.state.obs.Emit(obs.KPoolCreate, m.p.Name(), "", 0, 0)
+	m.p.Raise(EvCreatePool)
+}
 
 // CreateWorker requests a new worker in the pool (step 3b), reads the
 // worker's process reference from the master's own input port (step 3c),
@@ -95,8 +101,10 @@ func (m *Master) ReadResultWithin(d time.Duration) (manifold.Unit, error) {
 // mirroring how an operating system would eventually reap a MANIFOLD task
 // instance.
 func (m *Master) abandon(w *manifold.Process) {
+	m.state.obs.Emit(obs.KJobAbandon, w.Name(), "", 0, 0)
 	if m.state.markDead(w) {
 		m.p.Raise(EvDeathWorker)
+		m.state.obs.Emit(obs.KWorkerDeath, w.Name(), "", 0, 0)
 	}
 	w.Input().Close()
 	m.state.addAbandoned()
@@ -179,6 +187,7 @@ type WorkerFailure struct {
 	Reason any
 }
 
+// Error describes the worker failure as an error value.
 func (f WorkerFailure) Error() string {
 	return fmt.Sprintf("core: worker %s failed: %v", f.Worker, f.Reason)
 }
@@ -188,6 +197,7 @@ func (f WorkerFailure) Error() string {
 // raise-exactly-once guarantee, and the failure statistics.
 type runState struct {
 	policy Policy
+	obs    *obs.Recorder // nil = observability off; Emit on nil is a no-op
 
 	mu        sync.Mutex
 	dead      map[*manifold.Process]bool
@@ -196,7 +206,7 @@ type runState struct {
 }
 
 func newRunState(policy Policy) *runState {
-	return &runState{policy: policy, dead: make(map[*manifold.Process]bool)}
+	return &runState{policy: policy, obs: policy.Obs, dead: make(map[*manifold.Process]bool)}
 }
 
 // markDead flips the worker's death flag and reports whether the caller won
@@ -264,6 +274,7 @@ func Run(masterFn MasterFunc, workerFn WorkerFunc) {
 func RunPolicy(masterFn MasterFunc, workerFn WorkerFunc, policy Policy) Stats {
 	st := newRunState(policy)
 	env := manifold.NewEnv()
+	env.SetRecorder(policy.Obs)
 	master := env.NewProcess("Master", func(p *manifold.Process) {
 		masterFn(&Master{p: p, state: st})
 	}, "dataport")
@@ -355,14 +366,16 @@ func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerF
 					}
 					if st.markDead(p) {
 						p.Raise(EvDeathWorker)
+						st.obs.Emit(obs.KWorkerDeath, p.Name(), "", 0, 0)
 					}
 				}()
 				if wk.fault == FaultPanicPreRead {
 					panic(InjectedFault{Kind: FaultPanicPreRead})
 				}
-				workerFn(wk)
+				runWorkerBody(p.Name(), workerFn, wk, st.obs)
 			})
 			st.addWorker()
+			st.obs.Emit(obs.KWorkerCreate, name, "", int64(now+1), 0)
 
 			// The stream configuration of the paper's line 36:
 			//   &worker -> master -> worker -> master.dataport
@@ -374,6 +387,7 @@ func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerF
 			now++
 
 		case EvRendezvous:
+			st.obs.Emit(obs.KRendezvousBegin, coord.Name(), "", int64(now), int64(t))
 			for t < now {
 				coord.Wait(manifold.On(EvDeathWorker))
 				t++
@@ -381,7 +395,23 @@ func createWorkerPool(coord *manifold.Process, master *manifold.Process, workerF
 			}
 			scope.Dismantle()
 			coord.Raise(EvARendezvous)
+			st.obs.Emit(obs.KRendezvousEnd, coord.Name(), "", int64(now), int64(t))
 			return // the manner returns to ProtocolMW
 		}
 	}
+}
+
+// runWorkerBody executes the worker computation, labelling its goroutine for
+// CPU and goroutine profiles when observability is on (pprof labels name the
+// worker in `go tool pprof` output). With observability off the body runs
+// directly — no context, no label set, no allocation.
+func runWorkerBody(name string, workerFn WorkerFunc, wk *Worker, rec *obs.Recorder) {
+	if rec == nil {
+		workerFn(wk)
+		return
+	}
+	labels := pprof.Labels("mw_role", "worker", "mw_name", name)
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		workerFn(wk)
+	})
 }

@@ -25,7 +25,10 @@ package manifold
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Unit is a datum flowing through a stream. Process references (*Process)
@@ -58,7 +61,19 @@ type Env struct {
 	mu    sync.Mutex
 	procs []*Process
 	wg    sync.WaitGroup
+	rec   atomic.Pointer[obs.Recorder]
 }
+
+// SetRecorder attaches an observability recorder to the application:
+// stream wiring (connect/break) and deadline expiries are recorded from
+// then on. A nil recorder (the default) costs nothing. Safe to call
+// concurrently with running processes, though it is normally set once
+// before activation.
+func (e *Env) SetRecorder(r *obs.Recorder) { e.rec.Store(r) }
+
+// Recorder returns the attached recorder, or nil when observability is
+// off.
+func (e *Env) Recorder() *obs.Recorder { return e.rec.Load() }
 
 // NewEnv creates an empty application.
 func NewEnv() *Env { return &Env{} }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrTimeout is returned by deadline-aware reads and waits when the
@@ -108,6 +110,9 @@ func (pt *Port) ReadWithin(d time.Duration) (Unit, error) {
 	for len(pt.queue) == 0 && !pt.closed {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			if r := pt.owner.env.Recorder(); r != nil {
+				r.Emit(obs.KDeadlineExpired, pt.String(), "", d.Microseconds(), 0)
+			}
 			return nil, ErrTimeout
 		}
 		// sync.Cond has no timed wait; a timer broadcast stands in for one.
@@ -209,6 +214,9 @@ type Stream struct {
 // it. Buffered output pending at src flushes immediately.
 func Connect(src, dst *Port, typ StreamType) *Stream {
 	s := &Stream{Type: typ, src: src, dst: dst}
+	if r := src.owner.env.Recorder(); r != nil {
+		r.Emit(obs.KStreamConnect, src.String(), dst.String(), int64(typ), 0)
+	}
 	src.attach(s)
 	return s
 }
@@ -239,6 +247,9 @@ func (s *Stream) Break() {
 	}
 	s.broken = true
 	s.mu.Unlock()
+	if r := s.src.owner.env.Recorder(); r != nil {
+		r.Emit(obs.KStreamBreak, s.src.String(), s.dst.String(), int64(s.Type), 0)
+	}
 	s.src.detach(s)
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/manifold/mconfig"
 	"repro/internal/manifold/mlink"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workmodel"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// the master learns that a worker was lost and re-forks its job on
 	// another machine. 0 means instant detection.
 	DetectSec float64
+
+	// Obs, when non-nil, records the run's virtual-time events (task
+	// instance fork/reuse/kill, machine crashes and slowdowns, lost
+	// workers) stamped with the virtual clock, so the simulated timeline
+	// exports in the same formats as a live run. Nil costs nothing.
+	Obs *obs.Recorder
 }
 
 // MachineFault schedules one machine-level failure.
@@ -192,6 +199,7 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 	}
 	env := sim.NewEnv()
 	cl := cluster.NewPaper(env)
+	cl.Obs = cfg.Obs
 	if noiseAmp > 0 {
 		cl.Noise = rand.New(rand.NewSource(seed))
 		cl.NoiseAmplitude = noiseAmp
@@ -252,6 +260,9 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 		switch f.Kind {
 		case "slow":
 			m.SlowFrom(f.AtSec, f.Factor)
+			if cfg.Obs != nil {
+				cfg.Obs.EmitAt(int64(f.AtSec*1e6), obs.KMachineSlow, m.Name(), "FailurePlan", "", int64(f.Factor), 0)
+			}
 		case "crash":
 			if m == masterHost {
 				continue // the master cannot lose its own host
@@ -259,6 +270,9 @@ func run(cfg Config, seed int64, noiseAmp float64) Result {
 			m.FailAt(f.AtSec)
 			mm := m
 			env.SpawnAt(f.AtSec, "crash:"+mm.Name(), func(*sim.Proc) {
+				if cfg.Obs != nil {
+					cfg.Obs.EmitAt(int64(f.AtSec*1e6), obs.KMachineCrash, mm.Name(), "FailurePlan", "", 0, 0)
+				}
 				spawner.KillHost(mm)
 			})
 		}
@@ -386,6 +400,9 @@ func startWorker(env *sim.Env, cl *cluster.Cluster, spawner *cluster.Spawner,
 		if !ok {
 			if detectAt := ti.Host.CrashTime() + cfg.DetectSec; detectAt > w.Now() {
 				w.Hold(detectAt - w.Now())
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.EmitAt(int64(w.Now()*1e6), obs.KWorkerLost, ti.Host.Name(), w.Name, "", int64(g.L1), int64(g.L2))
 			}
 			results.Put(arrival{g: g, ok: false})
 			deaths.Put(struct{}{}) // raised on the lost worker's behalf

@@ -1,0 +1,73 @@
+package mwsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestObservedSimTimeline: a simulated run with a machine crash must record
+// a virtual-time event stream that agrees with the run's own accounting and
+// renders as a parseable paper-format trace whose Welcome/Bye messages
+// reconstruct the machines-in-use ebb and flow.
+func TestObservedSimTimeline(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	cfg := crashed("diplice", 15)
+	cfg.Obs = rec
+	r := Run(cfg)
+
+	if got := rec.KindCount(obs.KWorkerLost); got != uint64(r.Lost) {
+		t.Fatalf("KWorkerLost = %d, want Result.Lost = %d", got, r.Lost)
+	}
+	if got := rec.KindCount(obs.KMachineCrash); got != 1 {
+		t.Fatalf("KMachineCrash = %d, want 1", got)
+	}
+	forks := rec.KindCount(obs.KTaskFork)
+	if forks != uint64(r.Forks) {
+		t.Fatalf("KTaskFork = %d, want Result.Forks = %d", forks, r.Forks)
+	}
+	if got := rec.KindCount(obs.KTaskReuse); got != uint64(r.Reuses) {
+		t.Fatalf("KTaskReuse = %d, want Result.Reuses = %d", got, r.Reuses)
+	}
+	// Every task instance (forked or adopted) is eventually killed: either
+	// by its own retirement or with its crashed machine.
+	adopts := rec.KindCount(obs.KTaskAdopt)
+	if kills := rec.KindCount(obs.KTaskKill); kills != forks+adopts {
+		t.Fatalf("KTaskKill = %d, want forks+adopts = %d", kills, forks+adopts)
+	}
+
+	// The Welcome/Bye messages of the exported trace must replay Figure 1:
+	// the ebb-and-flow peak equals the simulator's own peak and the flow
+	// ends at zero live machines.
+	var sb strings.Builder
+	if err := rec.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	var entries []trace.Entry
+	for i := 0; i+1 < len(lines); i += 2 {
+		e, err := trace.Parse(lines[i] + "\n" + lines[i+1])
+		if err != nil {
+			t.Fatalf("entry %d does not parse: %v", i/2, err)
+		}
+		entries = append(entries, e)
+	}
+	flow := trace.MachineEbbFlow(entries)
+	if len(flow) == 0 {
+		t.Fatal("empty ebb-and-flow from exported trace")
+	}
+	peak := 0
+	for _, f := range flow {
+		if f.Count > peak {
+			peak = f.Count
+		}
+	}
+	if peak != r.PeakMachines {
+		t.Fatalf("trace peak %d, want simulator peak %d", peak, r.PeakMachines)
+	}
+	if last := flow[len(flow)-1].Count; last != 0 {
+		t.Fatalf("flow ends at %d live machines, want 0", last)
+	}
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (jobs dispatched, retries,
+// bytes moved). A nil *Counter — what a disabled recorder hands out — is a
+// valid, free no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move both ways (outstanding jobs, live task
+// instances). A nil *Gauge is a valid, free no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds observations v (in microseconds) with 2^(i-1) <= v < 2^i, bucket 0
+// holds v <= 0..1. 40 buckets cover up to ~2^39 us ≈ 6.4 days.
+const histBuckets = 40
+
+// Histogram records a distribution of durations in microseconds, in
+// lock-free power-of-two buckets with exact count, sum, min and max. A nil
+// *Histogram is a valid, free no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+}
+
+// bucketOf returns the bucket index of a microsecond observation.
+func bucketOf(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // = floor(log2(us)) + 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration, given in microseconds. Negative values
+// clamp to zero. No-op on a nil histogram.
+func (h *Histogram) Observe(us int64) {
+	if h == nil {
+		return
+	}
+	if us < 0 {
+		us = 0
+	}
+	h.buckets[bucketOf(us)].Add(1)
+	h.sum.Add(us)
+	if h.count.Add(1) == 1 {
+		h.min.Store(us)
+		h.max.Store(us)
+		return
+	}
+	for {
+		cur := h.min.Load()
+		if us >= cur || h.min.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed wall-clock time since t0. No-op on a
+// nil histogram.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Microseconds())
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations in microseconds.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest observation (0 when empty or nil).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty or nil).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the mean observation in microseconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) from the
+// bucket boundaries: the result is the upper edge of the bucket holding
+// the q-th observation, clamped to the exact observed min/max. Empty and
+// nil histograms return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			upper := int64(1) << uint(i) // bucket i upper edge: 2^i - 1, rounded up
+			if i == 0 {
+				upper = 1
+			}
+			if mx := h.Max(); upper > mx {
+				upper = mx
+			}
+			if mn := h.Min(); upper < mn {
+				upper = mn
+			}
+			return upper
+		}
+	}
+	return h.Max()
+}
+
+// Buckets returns a copy of the per-bucket counts (nil for a nil
+// histogram); bucket i counts observations in [2^(i-1), 2^i) microseconds.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// registry is the name → handle map behind a Recorder's metrics. Handles
+// are registered on first use and stable afterwards, so hot paths hold the
+// handle and never touch the map.
+type registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+func (rg *registry) counter(name string) *Counter {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.counters == nil {
+		rg.counters = make(map[string]*Counter)
+	}
+	c, ok := rg.counters[name]
+	if !ok {
+		c = &Counter{}
+		rg.counters[name] = c
+	}
+	return c
+}
+
+func (rg *registry) gauge(name string) *Gauge {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.gauges == nil {
+		rg.gauges = make(map[string]*Gauge)
+	}
+	g, ok := rg.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		rg.gauges[name] = g
+	}
+	return g
+}
+
+func (rg *registry) histogram(name string) *Histogram {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.histograms == nil {
+		rg.histograms = make(map[string]*Histogram)
+	}
+	h, ok := rg.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		rg.histograms[name] = h
+	}
+	return h
+}
+
+// names returns the sorted registered names of one metric class.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestRingKeepsMostRecentAndCountsDrops(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(KJobDispatch, "w", "", int64(i), 1)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	if got := r.Emitted(); got != 10 {
+		t.Fatalf("Emitted = %d, want 10", got)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := int64(6 + i); e.A != want {
+			t.Errorf("event %d: A = %d, want %d (most recent window)", i, e.A, want)
+		}
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d: Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// Per-kind totals are drop-proof.
+	if got := r.KindCount(KJobDispatch); got != 10 {
+		t.Fatalf("KindCount = %d, want 10", got)
+	}
+}
+
+func TestNilRecorderIsSafeAndFree(t *testing.T) {
+	var r *Recorder
+	r.Emit(KWorkerCreate, "w", "", 0, 0)
+	r.EmitAt(5, KMachineCrash, "h", "m", "", 0, 0)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(10)
+	r.Histogram("h").ObserveSince(time.Now())
+	if r.Enabled() || r.Len() != 0 || r.Events() != nil || r.Dropped() != 0 ||
+		r.Emitted() != 0 || r.KindCount(KWorkerCreate) != 0 {
+		t.Fatal("nil recorder should observe nothing")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteTrace: err=%v len=%d", err, buf.Len())
+	}
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+	if err := r.WriteMetrics(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteMetrics: err=%v len=%d", err, buf.Len())
+	}
+}
+
+// TestDisabledZeroAlloc is the overhead guard of the disabled path: with a
+// nil recorder, instrumentation in a hot loop must not allocate at all.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var r *Recorder
+	c := r.Counter("core.jobs")
+	h := r.Histogram("core.job.us")
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(KJobDispatch, "Worker-1", "", 3, 1)
+		c.Inc()
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledEmitZeroAlloc pins the enabled-path cost: emitting with
+// pre-existing strings writes into the preallocated ring without
+// allocating.
+func TestEnabledEmitZeroAlloc(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	c := r.Counter("core.jobs")
+	h := r.Histogram("core.job.us")
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(KJobDispatch, "Worker-1", "", 3, 1)
+		c.Inc()
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled emit allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentEmitters exercises the recorder from many goroutines; run
+// under -race it is the data-race guard for the whole package.
+func TestConcurrentEmitters(t *testing.T) {
+	r := NewRecorder(256) // small ring: force concurrent overwrites
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("emitted")
+			h := r.Histogram("lat.us")
+			for i := 0; i < each; i++ {
+				r.Emit(KJobDispatch, "w", "", int64(i), int64(g))
+				c.Inc()
+				h.Observe(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(goroutines * each)
+	if got := r.Emitted(); got != total {
+		t.Fatalf("Emitted = %d, want %d", got, total)
+	}
+	if got := r.KindCount(KJobDispatch); got != total {
+		t.Fatalf("KindCount = %d, want %d", got, total)
+	}
+	if got := r.Dropped(); got != total-256 {
+		t.Fatalf("Dropped = %d, want %d", got, total-256)
+	}
+	if got := r.Counter("emitted").Value(); got != int64(total) {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Histogram("lat.us").Count(); got != int64(total) {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	// Surviving events are the last 256 emitted, in sequence order.
+	events := r.Events()
+	if len(events) != 256 {
+		t.Fatalf("len(Events) = %d, want 256", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of sequence at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 1106.0/5 {
+		t.Fatalf("mean = %g", m)
+	}
+	// p50 of {1,2,3,100,1000}: third observation (3) lives in bucket
+	// [2,4) whose upper edge is 4.
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4", q)
+	}
+	// The top quantile is clamped to the exact max.
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	// Negative observations clamp to zero and land in bucket 0.
+	h2 := &Histogram{}
+	h2.Observe(-5)
+	if h2.Min() != 0 || h2.Buckets()[0] != 1 {
+		t.Fatalf("negative observation: min=%d bucket0=%d", h2.Min(), h2.Buckets()[0])
+	}
+}
+
+// TestWriteTraceParsesAsPaperFormat round-trips the exporter through the
+// §6 parser: every emitted event must render as a valid two-line entry,
+// and the output must be chronological by the integer (Sec, Usec) pair.
+func TestWriteTraceParsesAsPaperFormat(t *testing.T) {
+	r := NewRecorder(64)
+	r.AppName = "mainprog"
+	r.Epoch = PaperEpoch
+	r.EmitAt(2_000_001, KWorkerCreate, "alboka.sen.cwi.nl", "Worker-1", "", 1, 0)
+	r.EmitAt(1_500_000, KPoolCreate, "", "Master", "", 0, 0)
+	r.EmitAt(2_000_000, KJobDispatch, "", "Worker-1", "", 0, 1)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6 (3 two-line entries):\n%s", len(lines), buf.String())
+	}
+	var entries []trace.Entry
+	for i := 0; i < len(lines); i += 2 {
+		e, err := trace.Parse(lines[i] + "\n" + lines[i+1])
+		if err != nil {
+			t.Fatalf("entry %d does not parse: %v\n%s\n%s", i/2, err, lines[i], lines[i+1])
+		}
+		entries = append(entries, e)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Before(entries[i-1]) {
+			t.Fatalf("entries not chronological: %v then %v", entries[i-1], entries[i])
+		}
+	}
+	if entries[0].Task != "mainprog" || entries[0].Manifold != "Master" {
+		t.Fatalf("first entry label: %+v", entries[0])
+	}
+	if entries[0].Sec != PaperEpoch+1 || entries[0].Usec != 500000 {
+		t.Fatalf("first entry time: sec=%d usec=%d", entries[0].Sec, entries[0].Usec)
+	}
+	// The host-tagged cluster event keeps its machine name.
+	if entries[2].Host != "alboka.sen.cwi.nl" {
+		t.Fatalf("host-tagged entry: %+v", entries[2])
+	}
+}
+
+func TestWriteJSONLTimeline(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(KWorkerCreate, "Worker-1", "", 1, 0)
+	r.Emit(KWorkerDeath, "Worker-1", "", 0, 0)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // 2 events + summary
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first["kind"] != "worker.create" || first["actor"] != "Worker-1" {
+		t.Fatalf("first record: %v", first)
+	}
+	var summary map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &summary); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	if summary["kind"] != "obs.summary" || summary["emitted"] != float64(2) {
+		t.Fatalf("summary record: %v", summary)
+	}
+}
+
+func TestWriteMetricsSummary(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(KJobRetry, "w", "", 0, 1)
+	r.Emit(KJobRetry, "w", "", 1, 1)
+	r.Counter("core.failures").Add(3)
+	r.Gauge("pool.outstanding").Set(2)
+	r.Histogram("solver.subsolve.us").Observe(1234)
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"event   job.retry",
+		"counter core.failures",
+		"gauge   pool.outstanding",
+		"hist    solver.subsolve.us",
+		"count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(1); k < kindCount; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if k.source() == "" {
+			t.Errorf("kind %v has no source file", k)
+		}
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Recorder
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(KJobDispatch, "Worker-1", "", int64(i), 1)
+		c.Inc()
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := NewRecorder(1 << 12)
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(KJobDispatch, "Worker-1", "", int64(i), 1)
+		c.Inc()
+		h.Observe(int64(i))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/pde"
 	"repro/internal/rosenbrock"
 )
@@ -59,6 +60,7 @@ func Concurrent(p Params) (*Output, error) {
 		FailureBudget:  p.FailureBudget,
 		WorkerDeadline: p.WorkerDeadline,
 		Injector:       p.Faults,
+		Obs:            p.Obs,
 		// A result that is not a jobResult (e.g. an injected CorruptUnit)
 		// counts as a failed attempt and is retried; a jobResult carrying a
 		// solver error is a deterministic application failure, which a
@@ -111,7 +113,10 @@ func Concurrent(p Params) (*Output, error) {
 				// deterministic computation a worker would have run.
 				if job, ok := jf.Job.(Job); ok {
 					fallbacks++
-					res, serr := SubsolveInto(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, nil)
+					if p.Obs != nil {
+						p.Obs.Emit(obs.KFallback, "Master", job.Grid.String(), int64(jf.ID), int64(jf.Attempts))
+					}
+					res, serr := timedSubsolve(p.Obs, "Master", job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, nil)
 					record(jobResult{res: res, err: serr})
 					continue
 				}
@@ -130,7 +135,7 @@ func Concurrent(p Params) (*Output, error) {
 		// across goroutines.
 		ws := rosenbrock.NewWorkspace()
 		job := w.Read().(Job)
-		res, err := SubsolveInto(job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws)
+		res, err := timedSubsolve(p.Obs, w.Process().Name(), job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws)
 		w.Write(jobResult{res: res, err: err})
 	}, policy)
 

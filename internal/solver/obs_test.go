@@ -1,0 +1,100 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// TestObservedEventCountsMatchFaultAccounting is the acceptance check of the
+// observability layer: the protocol events recorded during a faulty
+// concurrent run must agree exactly with the Output.Faults accounting the
+// run reports. KindCount totals are drop-proof, so the equalities hold even
+// if the ring were to wrap.
+func TestObservedEventCountsMatchFaultAccounting(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	p := Params{Root: 2, Level: 2, Tol: 1e-3}
+	p.Retries = 5
+	p.WorkerDeadline = 5 * time.Second
+	p.Faults = core.PlanFaults(time.Hour,
+		core.FaultPanicPreRead, core.FaultNone, core.FaultHang, core.FaultCorrupt, core.FaultPanic)
+	p.Obs = rec
+
+	out, err := Concurrent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := out.Faults
+	check := func(k obs.Kind, want int, what string) {
+		t.Helper()
+		if got := rec.KindCount(k); got != uint64(want) {
+			t.Errorf("%v = %d, want %d (%s)", k, got, want, what)
+		}
+	}
+	check(obs.KWorkerCreate, fs.Workers, "Output.Faults.Workers")
+	check(obs.KJobDispatch, fs.Workers, "one dispatch per created worker")
+	check(obs.KWorkerDeath, fs.Deaths, "Output.Faults.Deaths")
+	check(obs.KJobRetry, fs.Retries, "Output.Faults.Retries")
+	check(obs.KJobAbandon, fs.Abandoned, "Output.Faults.Abandoned")
+	check(obs.KFallback, fs.Fallbacks, "Output.Faults.Fallbacks")
+	fam := grid.Family(p.Root, p.Level)
+	check(obs.KJobResult, len(fam), "one accepted result per grid")
+	check(obs.KPoolCreate, 1, "single pool")
+	check(obs.KRendezvousBegin, 1, "single rendezvous")
+	check(obs.KRendezvousEnd, 1, "single rendezvous")
+	if rec.Dropped() != 0 {
+		t.Errorf("dropped %d events with the default ring", rec.Dropped())
+	}
+
+	// The rendezvous end event must carry the final (workers, deaths) pair.
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KRendezvousEnd {
+			if e.A != int64(fs.Workers) || e.B != int64(fs.Deaths) {
+				t.Errorf("rendezvous end (%d,%d), want (%d,%d)", e.A, e.B, fs.Workers, fs.Deaths)
+			}
+		}
+	}
+
+	// Every family grid must have fed its per-grid subsolve histogram.
+	for _, g := range fam {
+		h := rec.Histogram("solver.subsolve." + g.String() + ".us")
+		if h.Count() < 1 {
+			t.Errorf("no subsolve duration recorded for %v", g)
+		}
+	}
+
+	// The live events must render as a parseable, chronological paper trace.
+	var sb strings.Builder
+	if err := rec.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-> ") {
+		t.Fatal("trace export is missing paper-format entries")
+	}
+}
+
+// TestObservedFallbackEvent: a job that exhausts its retries and degrades to
+// a master-local subsolve must record exactly one fallback activation.
+func TestObservedFallbackEvent(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	p := Params{Root: 2, Level: 1, Tol: 1e-3}
+	p.Retries = 1
+	p.Fallback = true
+	p.Faults = core.PlanFaults(0,
+		core.FaultPanic, core.FaultNone, core.FaultNone, core.FaultPanic)
+	p.Obs = rec
+	out, err := Concurrent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Faults.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", out.Faults.Fallbacks)
+	}
+	if got := rec.KindCount(obs.KFallback); got != 1 {
+		t.Fatalf("KFallback count = %d, want 1", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/pde"
 	"repro/internal/rosenbrock"
 )
@@ -73,6 +74,11 @@ type Params struct {
 	// gracefully to a master-local Subsolve call, so the combination still
 	// completes bit-for-bit identical to the sequential run.
 	Fallback bool
+	// Obs, when non-nil, records run events (per-grid subsolve begin/end,
+	// fallback activations, protocol events of the concurrent driver) and
+	// per-grid subsolve duration histograms; nil (the default) costs
+	// nothing.
+	Obs *obs.Recorder
 }
 
 func (p Params) withDefaults() Params {
@@ -149,6 +155,23 @@ func SubsolveInto(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock
 	return Result{Grid: g, U: u, Stats: stats}, nil
 }
 
+// timedSubsolve is SubsolveInto instrumented for observability: it brackets
+// the call with subsolve_begin/subsolve_end events and feeds the per-grid
+// duration histogram "solver.subsolve.<grid>.us". With rec == nil it is
+// exactly SubsolveInto — no timestamps, no allocation.
+func timedSubsolve(rec *obs.Recorder, actor string, g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace) (Result, error) {
+	if rec == nil {
+		return SubsolveInto(g, p, tol, tEnd, lin, ws)
+	}
+	gname := g.String()
+	rec.Emit(obs.KSubsolveBegin, actor, gname, int64(g.L1), int64(g.L2))
+	t0 := time.Now()
+	res, err := SubsolveInto(g, p, tol, tEnd, lin, ws)
+	rec.Histogram("solver.subsolve." + gname + ".us").ObserveSince(t0)
+	rec.Emit(obs.KSubsolveEnd, actor, gname, res.Stats.Ops.Flops, int64(res.Stats.Steps))
+	return res, err
+}
+
 // FaultStats accounts the failure handling of one concurrent run.
 type FaultStats struct {
 	// Workers counts worker processes created, retries included.
@@ -218,7 +241,7 @@ func Sequential(p Params) (*Output, error) {
 	ws := rosenbrock.NewWorkspace()
 	var results []Result
 	for _, g := range grid.Family(p.Root, p.Level) {
-		r, err := SubsolveInto(g, p.Problem, p.Tol, p.TEnd, p.Solver, ws)
+		r, err := timedSubsolve(p.Obs, "Sequential", g, p.Problem, p.Tol, p.TEnd, p.Solver, ws)
 		if err != nil {
 			return nil, err
 		}

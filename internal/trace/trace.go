@@ -34,8 +34,28 @@ type Entry struct {
 	Msg      string
 }
 
-// Time returns the timestamp in (fractional) seconds.
+// Time returns the timestamp in (fractional) seconds. Note that float64
+// cannot always separate same-second entries one microsecond apart (a
+// 52-bit mantissa runs out around Sec ≈ 2^32); use Before or SortEntries
+// for ordering — they compare the integer (Sec, Usec) pair exactly.
 func (e Entry) Time() float64 { return float64(e.Sec) + float64(e.Usec)/1e6 }
+
+// Before reports whether e was printed strictly earlier than o, comparing
+// the (Sec, Usec) integer pair — exact where Time() loses microsecond
+// precision.
+func (e Entry) Before(o Entry) bool {
+	if e.Sec != o.Sec {
+		return e.Sec < o.Sec
+	}
+	return e.Usec < o.Usec
+}
+
+// SortEntries sorts entries chronologically by the integer (Sec, Usec)
+// pair. The sort is stable: entries with identical timestamps keep their
+// original (emission) order.
+func SortEntries(entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Before(entries[j]) })
+}
 
 // Format renders the entry in the paper's two-line layout.
 func (e Entry) Format() string {
@@ -134,14 +154,9 @@ func MachineEbbFlow(entries []Entry) []struct {
 	T     float64
 	Count int
 } {
-	type ev struct {
-		t     float64
-		delta int
-	}
 	active := map[string]int{} // host -> processes currently on it
-	var evs []ev
 	sorted := append([]Entry(nil), entries...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time() < sorted[j].Time() })
+	SortEntries(sorted)
 	var out []struct {
 		T     float64
 		Count int
@@ -167,6 +182,5 @@ func MachineEbbFlow(entries []Entry) []struct {
 			Count int
 		}{e.Time(), machines})
 	}
-	_ = evs
 	return out
 }

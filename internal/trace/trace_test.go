@@ -80,6 +80,58 @@ func TestLoggerCollectsInOrder(t *testing.T) {
 	}
 }
 
+// TestSortEntriesMicrosecondPrecision is the regression test for ordering
+// same-second entries: float64 Time() cannot separate microsecond
+// neighbours once Sec exceeds ~2^32 (the mantissa spacing passes 1e-6),
+// but Before/SortEntries compare the integer (Sec, Usec) pair exactly.
+func TestSortEntriesMicrosecondPrecision(t *testing.T) {
+	const sec = int64(1) << 33 // spacing of float64 at 2^33 is ~1.9e-6 s
+	a := Entry{Host: "a", Sec: sec, Usec: 1, Msg: "first"}
+	b := Entry{Host: "b", Sec: sec, Usec: 2, Msg: "second"}
+	if a.Time() != b.Time() {
+		t.Fatalf("precondition failed: Time() distinguishes the entries (%v vs %v); pick a larger Sec", a.Time(), b.Time())
+	}
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Fatal("Before must order by the integer (Sec, Usec) pair")
+	}
+	entries := []Entry{b, a}
+	SortEntries(entries)
+	if entries[0].Msg != "first" || entries[1].Msg != "second" {
+		t.Fatalf("SortEntries kept float order: %v, %v", entries[0].Msg, entries[1].Msg)
+	}
+	// Cross-second ordering still holds.
+	c := Entry{Sec: sec - 1, Usec: 999999}
+	if !c.Before(a) {
+		t.Fatal("earlier second must sort first")
+	}
+	// Stability: identical timestamps keep emission order.
+	d1 := Entry{Sec: sec, Usec: 5, Msg: "d1"}
+	d2 := Entry{Sec: sec, Usec: 5, Msg: "d2"}
+	same := []Entry{d1, d2}
+	SortEntries(same)
+	if same[0].Msg != "d1" || same[1].Msg != "d2" {
+		t.Fatal("SortEntries must be stable for equal timestamps")
+	}
+}
+
+// TestMachineEbbFlowMicrosecondOrder: a Bye and a Welcome in the same
+// second (large epoch) must be replayed in microsecond order even when
+// Time() collapses them — the float-sorted version kept slice order.
+func TestMachineEbbFlowMicrosecondOrder(t *testing.T) {
+	const sec = int64(1) << 33
+	entries := []Entry{
+		{Host: "w1", Sec: sec, Usec: 2, Msg: "Bye"},     // emitted second
+		{Host: "w1", Sec: sec, Usec: 1, Msg: "Welcome"}, // emitted first
+	}
+	flow := MachineEbbFlow(entries)
+	if len(flow) != 2 {
+		t.Fatalf("%d points, want 2", len(flow))
+	}
+	if flow[0].Count != 1 || flow[1].Count != 0 {
+		t.Fatalf("counts %d,%d; want 1,0 (Welcome before Bye)", flow[0].Count, flow[1].Count)
+	}
+}
+
 func TestMachineEbbFlow(t *testing.T) {
 	mk := func(host string, tsec int64, msg string) Entry {
 		return Entry{Host: host, Sec: tsec, Msg: msg}
