@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -37,7 +39,11 @@ import (
 	"repro/internal/solver"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; returning (rather than os.Exit-ing) lets the profile
+// defers flush even on error exits.
+func run() int {
 	var (
 		root     = flag.Int("root", 2, "refinement level of the coarsest grid (argv[1])")
 		level    = flag.Int("level", 3, "additional refinement above the root level (argv[2])")
@@ -50,8 +56,41 @@ func main() {
 		traceOut = flag.String("trace", "", "write the run's events as a paper-style (§6) chronological trace to this file ('-' = stdout)")
 		timeline = flag.String("timeline", "", "write the run's events as a JSON-lines timeline to this file ('-' = stdout)")
 		metrics  = flag.String("metrics", "", "write the per-run metrics summary (event totals, counters, histograms) to this file ('-' = stdout)")
+		cpw      = flag.Int("cores-per-worker", 0, "intra-grid team size per subsolve (0 = auto: sequential uses GOMAXPROCS, concurrent splits GOMAXPROCS by grid cost); output is bit-identical at any setting")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof worker labels attribute samples per grid)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	var rec *obs.Recorder
 	if *traceOut != "" || *timeline != "" || *metrics != "" {
@@ -66,18 +105,19 @@ func main() {
 		WorkerDeadline: *ddl,
 		Fallback:       true,
 		Obs:            rec,
+		CoresPerWorker: *cpw,
 	}
 	if *faults != "" {
 		inj, err := core.ParseFaultSpec(*faults)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		p.Faults = inj
 	}
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	var seq, conc *solver.Output
@@ -86,7 +126,7 @@ func main() {
 		out, err := solver.Sequential(p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sequential:", err)
-			os.Exit(1)
+			return 1
 		}
 		seq = out
 		report("sequential", out, time.Since(t0))
@@ -99,10 +139,10 @@ func main() {
 			if errors.As(err, &be) {
 				fmt.Fprintf(os.Stderr, "concurrent: run aborted: %d worker failures exceeded the failure budget of %d (raise -failure-budget or -retries)\n",
 					be.Failures, be.Budget)
-				os.Exit(3)
+				return 3
 			}
 			fmt.Fprintln(os.Stderr, "concurrent:", err)
-			os.Exit(1)
+			return 1
 		}
 		conc = out
 		report("concurrent", out, time.Since(t0))
@@ -116,12 +156,13 @@ func main() {
 			fmt.Println("results: concurrent output is exactly the same as the sequential version")
 		} else {
 			fmt.Printf("results: DIFFER by %g\n", d)
-			os.Exit(1)
+			return 1
 		}
 	}
 	export(*traceOut, rec.WriteTrace)
 	export(*timeline, rec.WriteJSONL)
 	export(*metrics, rec.WriteMetrics)
+	return 0
 }
 
 // export writes one observability view to the named file ('-' = stdout,

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/pde"
+	"repro/internal/rosenbrock"
+	"repro/internal/solver"
+)
+
+// ScalingRow is one row of a strong-scaling measurement: the wall-clock
+// time of the finest-grid subsolve at a fixed problem size and a growing
+// intra-grid team.
+type ScalingRow struct {
+	Cores   int
+	Seconds float64
+	Speedup float64 // vs the 1-core row (or the first row measured)
+}
+
+// ScalingOptions configures a strong-scaling run.
+type ScalingOptions struct {
+	Grid grid.Grid // the grid each run subsolves (the finest-grid wall)
+	Tol  float64
+	TEnd float64
+	Lin  rosenbrock.LinearSolver
+	// Cores lists the team sizes to measure, e.g. 1,2,4; nil picks
+	// 1,2,4,...,GOMAXPROCS.
+	Cores []int
+	// Runs > 1 repeats each measurement and keeps the fastest (minimum is
+	// the robust wall-clock estimator); <= 1 measures once.
+	Runs int
+}
+
+// DefaultScalingOptions mirrors the EXPERIMENTS.md strong-scaling table:
+// the finest square grid at eval-cap refinement, paper tolerance, cores
+// doubling up to GOMAXPROCS.
+func DefaultScalingOptions(tol float64) ScalingOptions {
+	var cores []int
+	for c := 1; c <= runtime.GOMAXPROCS(0); c *= 2 {
+		cores = append(cores, c)
+	}
+	return ScalingOptions{
+		Grid:  grid.Grid{Root: 2, L1: 5, L2: 5},
+		Tol:   tol,
+		TEnd:  solver.DefaultTEnd,
+		Cores: cores,
+		Runs:  3,
+	}
+}
+
+// StrongScaling measures the finest-grid subsolve at each team size. The
+// computed solutions are bit-for-bit identical across rows (the team
+// kernels are deterministic); only the wall clock moves.
+func StrongScaling(o ScalingOptions) ([]ScalingRow, error) {
+	if len(o.Cores) == 0 {
+		o.Cores = []int{1, runtime.GOMAXPROCS(0)}
+	}
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	prob := pde.PaperProblem()
+	rows := make([]ScalingRow, 0, len(o.Cores))
+	base := 0.0
+	for _, c := range o.Cores {
+		team := linalg.NewTeam(c)
+		ws := rosenbrock.NewWorkspace()
+		ws.SetTeam(team)
+		best := 0.0
+		for r := 0; r < o.Runs; r++ {
+			t0 := time.Now()
+			if _, err := solver.SubsolveInto(o.Grid, prob, o.Tol, o.TEnd, o.Lin, ws); err != nil {
+				team.Close()
+				return nil, err
+			}
+			if sec := time.Since(t0).Seconds(); r == 0 || sec < best {
+				best = sec
+			}
+		}
+		team.Close()
+		if base == 0 {
+			base = best
+		}
+		rows = append(rows, ScalingRow{Cores: c, Seconds: best, Speedup: base / best})
+	}
+	return rows, nil
+}
+
+// WriteScaling renders the rows in the layout of the paper's Table 1
+// (problem column, measured seconds, derived speedup).
+func WriteScaling(w io.Writer, o ScalingOptions, rows []ScalingRow) error {
+	if _, err := fmt.Fprintf(w, "strong scaling: subsolve %v, tol %.1e, %s (host: GOMAXPROCS=%d, NumCPU=%d)\n",
+		o.Grid, o.Tol, o.Lin, runtime.GOMAXPROCS(0), runtime.NumCPU()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s | %12s | %8s\n", "cores", "seconds", "speedup"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%8d | %12.4f | %8.2f\n", r.Cores, r.Seconds, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCores parses a comma-separated cores list such as "1,2,4".
+func ParseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bench: bad cores list %q", s)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -110,14 +110,30 @@ func (f *Field) Eval(x, y float64) float64 {
 // grids are dyadic, coinciding points are reproduced exactly.
 func (f *Field) Prolongate(target Grid) *Field {
 	out := NewField(target)
+	f.ProlongateInto(out, nil)
+	return out
+}
+
+// ProlongateInto interpolates f onto out's grid, overwriting out. When t is
+// non-nil the target rows are split across the team; every point is one
+// independent bilinear evaluation, so the values are identical at any team
+// size.
+func (f *Field) ProlongateInto(out *Field, t *linalg.Team) {
+	target := out.G
 	nx, ny := target.NX(), target.NY()
-	for iy := 0; iy <= ny; iy++ {
-		y := target.Y(iy)
-		for ix := 0; ix <= nx; ix++ {
-			out.V[iy*(nx+1)+ix] = f.Eval(target.X(ix), y)
+	rows := func(iy0, iy1 int) {
+		for iy := iy0; iy < iy1; iy++ {
+			y := target.Y(iy)
+			for ix := 0; ix <= nx; ix++ {
+				out.V[iy*(nx+1)+ix] = f.Eval(target.X(ix), y)
+			}
 		}
 	}
-	return out
+	if t.Size() > 1 && ny+1 >= 2*t.Size() {
+		t.Run(ny+1, rows)
+	} else {
+		rows(0, ny+1)
+	}
 }
 
 // MaxDiff returns the maximum absolute pointwise difference between two
@@ -170,11 +186,21 @@ func CombineCoefficient(g Grid, level int) float64 {
 // with every component prolongated (bilinearly) onto target. The fields
 // must be exactly the Family(root, level) grids, in any order.
 func Combine(fields []*Field, level int, target Grid) *Field {
+	return CombineWith(nil, fields, level, target)
+}
+
+// CombineWith is Combine with the prolongations and accumulation routed
+// through a Team (nil runs serially). One scratch field is reused across
+// the family instead of allocating a prolongation per component; the
+// accumulation order and arithmetic are Combine's exactly, so the result is
+// bit-for-bit identical at any team size.
+func CombineWith(t *linalg.Team, fields []*Field, level int, target Grid) *Field {
 	out := NewField(target)
+	scratch := NewField(target)
 	for _, f := range fields {
 		c := CombineCoefficient(f.G, level)
-		p := f.Prolongate(target)
-		out.V.AXPY(c, p.V, nil)
+		f.ProlongateInto(scratch, t)
+		t.AXPY(out.V, c, scratch.V, nil)
 	}
 	return out
 }

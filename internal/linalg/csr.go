@@ -115,14 +115,21 @@ func (m *CSR) MulVec(y, x Vector, ops *Ops) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("linalg: mulvec dims %dx%d with x[%d], y[%d]", m.Rows, m.Cols, len(x), len(y)))
 	}
-	for r := 0; r < m.Rows; r++ {
+	m.mulVecRange(y, x, 0, m.Rows)
+	ops.Add(2 * int64(m.NNZ()))
+}
+
+// mulVecRange computes y[r] = (A*x)[r] for rows r in [r0, r1). Each output
+// row is an independent serial dot product, so any row partitioning yields
+// exactly MulVec's values.
+func (m *CSR) mulVecRange(y, x Vector, r0, r1 int) {
+	for r := r0; r < r1; r++ {
 		s := 0.0
 		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
 			s += m.Val[k] * x[m.ColIdx[k]]
 		}
 		y[r] = s
 	}
-	ops.Add(2 * int64(m.NNZ()))
 }
 
 // Diagonal extracts the main diagonal into d (missing entries are zero).

@@ -50,7 +50,8 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 	}
 	ops.Add(int64(n))
 
-	bNorm := b.Norm2(ops)
+	tm := ws.team
+	bNorm := tm.Norm2(b, ops)
 	if bNorm == 0 {
 		x.Fill(0)
 		return SolveStats{}, nil
@@ -68,17 +69,13 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 	total := 0
 	for total < maxIter {
 		// r0 = b - A x.
-		a.MulVec(w, x, ops)
-		v[0].Sub(b, w, ops)
-		beta := v[0].Norm2(ops)
+		tm.MulVec(a, w, x, ops)
+		tm.Sub(v[0], b, w, ops)
+		beta := tm.Norm2(v[0], ops)
 		if beta/bNorm <= tol {
 			return SolveStats{Iterations: total, Residual: beta / bNorm}, nil
 		}
-		inv := 1 / beta
-		for i := range v[0] {
-			v[0][i] *= inv
-		}
-		ops.Add(int64(n))
+		tm.ScaleTo(v[0], 1/beta, v[0], ops)
 		for i := range g {
 			g[i] = 0
 		}
@@ -88,23 +85,16 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 		for ; k < m && total < maxIter; k++ {
 			total++
 			// w = A M^-1 v_k (right preconditioning).
-			for i := range z {
-				z[i] = invD[i] * v[k][i]
-			}
-			ops.Add(int64(n))
-			a.MulVec(w, z, ops)
+			tm.MulElem(z, invD, v[k], ops)
+			tm.MulVec(a, w, z, ops)
 			// Modified Gram-Schmidt.
 			for i := 0; i <= k; i++ {
-				h[i][k] = w.Dot(v[i], ops)
-				w.AXPY(-h[i][k], v[i], ops)
+				h[i][k] = tm.Dot(w, v[i], ops)
+				tm.AXPY(w, -h[i][k], v[i], ops)
 			}
-			h[k+1][k] = w.Norm2(ops)
+			h[k+1][k] = tm.Norm2(w, ops)
 			if h[k+1][k] > 1e-300 {
-				inv := 1 / h[k+1][k]
-				for i := range w {
-					v[k+1][i] = w[i] * inv
-				}
-				ops.Add(int64(n))
+				tm.ScaleTo(v[k+1], 1/h[k+1][k], w, ops)
 			} else {
 				v[k+1].Fill(0) // happy breakdown: exact solution in span
 			}
@@ -147,16 +137,13 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 		// x += M^-1 (V y).
 		z.Fill(0)
 		for j := 0; j < k; j++ {
-			z.AXPY(y[j], v[j], ops)
+			tm.AXPY(z, y[j], v[j], ops)
 		}
-		for i := range x {
-			x[i] += invD[i] * z[i]
-		}
-		ops.Add(2 * int64(n))
+		tm.MulElemAdd(x, invD, z, ops)
 
-		a.MulVec(w, x, ops)
-		w.Sub(b, w, ops)
-		res := w.Norm2(ops) / bNorm
+		tm.MulVec(a, w, x, ops)
+		tm.Sub(w, b, w, ops)
+		res := tm.Norm2(w, ops) / bNorm
 		if res <= tol {
 			return SolveStats{Iterations: total, Residual: res}, nil
 		}

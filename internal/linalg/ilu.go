@@ -18,7 +18,22 @@ type ILU0 struct {
 	val    []float64 // combined L (strict lower, unit diagonal) and U
 	diag   []int     // index of the diagonal entry in each row
 	colPos []int     // scratch scatter index, kept to make Refactor allocation-free
+
+	// Level schedule for the parallel triangular solves, computed once per
+	// sparsity pattern in NewILU0 (Refactor keeps it: values move, the
+	// pattern does not). Level l of the forward (backward) solve holds the
+	// rows whose longest dependency chain through the strict lower (upper)
+	// pattern has length l; rows within a level are independent.
+	fwdPtr, fwdRows []int
+	bwdPtr, bwdRows []int
+	maxWidth        int // widest level across both sweeps
 }
+
+// ParMinLevelRows is the smallest level width worth a parallel dispatch in
+// the level-scheduled triangular solve: narrower levels run inline on the
+// caller (the per-level barrier otherwise dominates). Exported tuning knob;
+// results are bit-for-bit identical either way.
+var ParMinLevelRows = 256
 
 // NewILU0 computes the ILU(0) factorization of a square CSR matrix. It
 // fails if a zero pivot appears (the factorization exists for M-matrices
@@ -52,10 +67,83 @@ func NewILU0(a *CSR, ops *Ops) (*ILU0, error) {
 	for i := range f.colPos {
 		f.colPos[i] = -1
 	}
+	f.buildLevels()
 	if err := f.factorize(ops); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// buildLevels computes the forward and backward dependency level sets of
+// the pattern. Row i's forward level is 1 + max level over its strict-lower
+// neighbours (0 when it has none); the backward levels are the mirror over
+// the strict upper pattern. Rows are bucketed per level in ascending row
+// order — the order within a level is irrelevant for the solve values, the
+// rows being independent, but a fixed order keeps the schedule
+// deterministic.
+func (f *ILU0) buildLevels() {
+	n := f.n
+	lev := make([]int, n)
+	maxL := 0
+	for i := 0; i < n; i++ {
+		l := 0
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			if d := lev[f.colIdx[k]] + 1; d > l {
+				l = d
+			}
+		}
+		lev[i] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	f.fwdPtr, f.fwdRows = bucketByLevel(lev, maxL+1)
+	// Backward levels: fill lev in decreasing row order so every strict-
+	// upper neighbour is already leveled when row i reads it.
+	maxL = 0
+	for i := n - 1; i >= 0; i-- {
+		l := 0
+		for k := f.diag[i] + 1; k < f.rowPtr[i+1]; k++ {
+			if d := lev[f.colIdx[k]] + 1; d > l {
+				l = d
+			}
+		}
+		lev[i] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	f.bwdPtr, f.bwdRows = bucketByLevel(lev, maxL+1)
+	f.maxWidth = 0
+	for l := 0; l+1 < len(f.fwdPtr); l++ {
+		if w := f.fwdPtr[l+1] - f.fwdPtr[l]; w > f.maxWidth {
+			f.maxWidth = w
+		}
+	}
+	for l := 0; l+1 < len(f.bwdPtr); l++ {
+		if w := f.bwdPtr[l+1] - f.bwdPtr[l]; w > f.maxWidth {
+			f.maxWidth = w
+		}
+	}
+}
+
+// bucketByLevel groups row indices by their level with a stable counting
+// pass: ptr[l]..ptr[l+1] delimits level l's rows (ascending row order).
+func bucketByLevel(lev []int, nlev int) (ptr, rows []int) {
+	ptr = make([]int, nlev+1)
+	for _, l := range lev {
+		ptr[l+1]++
+	}
+	for l := 1; l <= nlev; l++ {
+		ptr[l] += ptr[l-1]
+	}
+	rows = make([]int, len(lev))
+	next := append([]int(nil), ptr[:nlev]...)
+	for i, l := range lev {
+		rows[next[l]] = i
+		next[l]++
+	}
+	return ptr, rows
 }
 
 // Refactor recomputes the factorization in place for a matrix with the
@@ -145,6 +233,70 @@ func (f *ILU0) Solve(x, b Vector, ops *Ops) {
 	ops.Add(2 * int64(len(f.val)))
 }
 
+// SolveWith is Solve with each dependency level's rows split across a Team.
+// Rows are solved with the serial per-row arithmetic and the level barriers
+// enforce the same dependency order, so the result is bit-for-bit Solve's
+// at any team size. Levels narrower than ParMinLevelRows run inline; a nil
+// or single team falls back to Solve outright.
+func (f *ILU0) SolveWith(t *Team, x, b Vector, ops *Ops) {
+	if t.seq() || f.maxWidth < ParMinLevelRows {
+		f.Solve(x, b, ops)
+		return
+	}
+	if len(x) != f.n || len(b) != f.n {
+		panic("linalg: ILU0 solve dimension mismatch")
+	}
+	t.f = f
+	t.x, t.y = x, b
+	for l := 0; l+1 < len(f.fwdPtr); l++ {
+		lo, hi := f.fwdPtr[l], f.fwdPtr[l+1]
+		if hi-lo < ParMinLevelRows {
+			f.forwardRows(x, b, lo, hi)
+			continue
+		}
+		t.op = opILUFwd
+		t.splitRange(lo, hi)
+		t.kick()
+	}
+	for l := 0; l+1 < len(f.bwdPtr); l++ {
+		lo, hi := f.bwdPtr[l], f.bwdPtr[l+1]
+		if hi-lo < ParMinLevelRows {
+			f.backwardRows(x, lo, hi)
+			continue
+		}
+		t.op = opILUBwd
+		t.splitRange(lo, hi)
+		t.kick()
+	}
+	ops.Add(2 * int64(len(f.val)))
+}
+
+// forwardRows runs the unit-lower forward substitution for the schedule
+// positions [p0, p1) of fwdRows: x[i] = b[i] - L[i,:]*x.
+func (f *ILU0) forwardRows(x, b Vector, p0, p1 int) {
+	for p := p0; p < p1; p++ {
+		i := f.fwdRows[p]
+		s := b[i]
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			s -= f.val[k] * x[f.colIdx[k]]
+		}
+		x[i] = s
+	}
+}
+
+// backwardRows runs the upper backward substitution for the schedule
+// positions [p0, p1) of bwdRows: x[i] = (x[i] - U[i,i+1:]*x) / U[i,i].
+func (f *ILU0) backwardRows(x Vector, p0, p1 int) {
+	for p := p0; p < p1; p++ {
+		i := f.bwdRows[p]
+		s := x[i]
+		for k := f.diag[i] + 1; k < f.rowPtr[i+1]; k++ {
+			s -= f.val[k] * x[f.colIdx[k]]
+		}
+		x[i] = s / f.val[f.diag[i]]
+	}
+}
+
 // BiCGStabILU solves A x = b with BiCGStab preconditioned by an ILU(0)
 // factorization of A (computed internally). On operators where ILU(0)
 // breaks down it falls back to the Jacobi-preconditioned BiCGStab. It
@@ -174,19 +326,20 @@ func (ws *Workspace) BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, 
 		}
 	}
 	ws.ensureBiCGStab(n)
+	tm := ws.team
 	r := ws.r
-	a.MulVec(r, x, ops)
-	r.Sub(b, r, ops)
-	bNorm := b.Norm2(ops)
+	tm.MulVec(a, r, x, ops)
+	tm.Sub(r, b, r, ops)
+	bNorm := tm.Norm2(b, ops)
 	if bNorm == 0 {
 		x.Fill(0)
 		return SolveStats{}, nil
 	}
-	if rn := r.Norm2(ops); rn/bNorm <= tol {
+	if rn := tm.Norm2(r, ops); rn/bNorm <= tol {
 		return SolveStats{Residual: rn / bNorm}, nil
 	}
 	rTilde := ws.rTilde
-	copy(rTilde, r)
+	tm.Copy(rTilde, r)
 	p := ws.p
 	v := ws.v
 	s := ws.s
@@ -195,51 +348,39 @@ func (ws *Workspace) BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, 
 	sHat := ws.sHat
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; it <= maxIter; it++ {
-		rhoNew := rTilde.Dot(r, ops)
+		rhoNew := tm.Dot(rTilde, r, ops)
 		if abs(rhoNew) < 1e-300 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
 		if it == 1 {
-			copy(p, r)
+			tm.Copy(p, r)
 		} else {
 			beta := (rhoNew / rho) * (alpha / omega)
-			for i := range p {
-				p[i] = r[i] + beta*(p[i]-omega*v[i])
-			}
-			ops.Add(4 * int64(n))
+			tm.UpdateP(p, r, v, beta, omega, ops)
 		}
 		rho = rhoNew
-		f.Solve(pHat, p, ops)
-		a.MulVec(v, pHat, ops)
-		den := rTilde.Dot(v, ops)
+		f.SolveWith(tm, pHat, p, ops)
+		tm.MulVec(a, v, pHat, ops)
+		den := tm.Dot(rTilde, v, ops)
 		if abs(den) < 1e-300 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
 		alpha = rho / den
-		for i := range s {
-			s[i] = r[i] - alpha*v[i]
-		}
-		ops.Add(2 * int64(n))
-		if sn := s.Norm2(ops); sn/bNorm <= tol {
-			x.AXPY(alpha, pHat, ops)
+		tm.AXPYTo(s, r, -alpha, v, ops)
+		if sn := tm.Norm2(s, ops); sn/bNorm <= tol {
+			tm.AXPY(x, alpha, pHat, ops)
 			return SolveStats{Iterations: it, Residual: sn / bNorm}, nil
 		}
-		f.Solve(sHat, s, ops)
-		a.MulVec(t, sHat, ops)
-		tt := t.Dot(t, ops)
+		f.SolveWith(tm, sHat, s, ops)
+		tm.MulVec(a, t, sHat, ops)
+		tt := tm.Dot(t, t, ops)
 		if tt == 0 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
-		omega = t.Dot(s, ops) / tt
-		for i := range x {
-			x[i] += alpha*pHat[i] + omega*sHat[i]
-		}
-		ops.Add(4 * int64(n))
-		for i := range r {
-			r[i] = s[i] - omega*t[i]
-		}
-		ops.Add(2 * int64(n))
-		if rn := r.Norm2(ops); rn/bNorm <= tol {
+		omega = tm.Dot(t, s, ops) / tt
+		tm.AXPY2(x, alpha, pHat, omega, sHat, ops)
+		tm.AXPYTo(r, s, -omega, t, ops)
+		if rn := tm.Norm2(r, ops); rn/bNorm <= tol {
 			return SolveStats{Iterations: it, Residual: rn / bNorm}, nil
 		}
 		if abs(omega) < 1e-300 {

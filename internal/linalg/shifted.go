@@ -119,8 +119,36 @@ func (o *ShiftedOperator) Update(s float64, ops *Ops) *CSR {
 	if o.valid && s == o.s {
 		return o.m
 	}
+	o.updateRange(s, 0, o.m.Rows)
+	ops.Add(2 * int64(len(o.m.Val)))
+	o.s, o.valid = s, true
+	return o.m
+}
+
+// UpdateWith is Update with the value rewrite split across a Team by row
+// ranges. Each stored entry is written exactly once with the serial
+// arithmetic, so the values are bit-identical to Update's at any team size.
+// A nil team (or one below the parallel cut-over) falls back to Update.
+func (o *ShiftedOperator) UpdateWith(t *Team, s float64, ops *Ops) *CSR {
+	if o.valid && s == o.s {
+		return o.m
+	}
+	if t.seq() || o.m.Rows < ParMinRows {
+		return o.Update(s, ops)
+	}
+	t.so, t.alpha = o, s
+	t.op = opShiftedUpdate
+	t.splitRowsByNNZ(o.m)
+	t.kick()
+	ops.Add(2 * int64(len(o.m.Val)))
+	o.s, o.valid = s, true
+	return o.m
+}
+
+// updateRange rewrites the values of rows [r0, r1) for shift s.
+func (o *ShiftedOperator) updateRange(s float64, r0, r1 int) {
 	aval := o.a.Val
-	for r := 0; r < o.m.Rows; r++ {
+	for r := r0; r < r1; r++ {
 		for p := o.m.RowPtr[r]; p < o.m.RowPtr[r+1]; p++ {
 			k := o.apos[p]
 			if k < 0 {
@@ -134,7 +162,4 @@ func (o *ShiftedOperator) Update(s float64, ops *Ops) *CSR {
 			o.m.Val[p] = v
 		}
 	}
-	ops.Add(2 * int64(len(o.m.Val)))
-	o.s, o.valid = s, true
-	return o.m
 }

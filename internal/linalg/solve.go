@@ -55,20 +55,21 @@ func (ws *Workspace) BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops
 	}
 	ops.Add(int64(n))
 
+	tm := ws.team
 	r := ws.r
-	a.MulVec(r, x, ops)
-	r.Sub(b, r, ops)
-	bNorm := b.Norm2(ops)
+	tm.MulVec(a, r, x, ops)
+	tm.Sub(r, b, r, ops)
+	bNorm := tm.Norm2(b, ops)
 	if bNorm == 0 {
 		x.Fill(0)
 		return SolveStats{Iterations: 0, Residual: 0}, nil
 	}
-	if rn := r.Norm2(ops); rn/bNorm <= tol {
+	if rn := tm.Norm2(r, ops); rn/bNorm <= tol {
 		return SolveStats{Iterations: 0, Residual: rn / bNorm}, nil
 	}
 
 	rTilde := ws.rTilde
-	copy(rTilde, r)
+	tm.Copy(rTilde, r)
 	p := ws.p
 	v := ws.v
 	s := ws.s
@@ -78,57 +79,39 @@ func (ws *Workspace) BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops
 
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; it <= maxIter; it++ {
-		rhoNew := rTilde.Dot(r, ops)
+		rhoNew := tm.Dot(rTilde, r, ops)
 		if math.Abs(rhoNew) < 1e-300 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
 		if it == 1 {
-			copy(p, r)
+			tm.Copy(p, r)
 		} else {
 			beta := (rhoNew / rho) * (alpha / omega)
-			for i := range p {
-				p[i] = r[i] + beta*(p[i]-omega*v[i])
-			}
-			ops.Add(4 * int64(n))
+			tm.UpdateP(p, r, v, beta, omega, ops)
 		}
 		rho = rhoNew
-		for i := range pHat {
-			pHat[i] = invD[i] * p[i]
-		}
-		ops.Add(int64(n))
-		a.MulVec(v, pHat, ops)
-		den := rTilde.Dot(v, ops)
+		tm.MulElem(pHat, invD, p, ops)
+		tm.MulVec(a, v, pHat, ops)
+		den := tm.Dot(rTilde, v, ops)
 		if math.Abs(den) < 1e-300 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
 		alpha = rho / den
-		for i := range s {
-			s[i] = r[i] - alpha*v[i]
-		}
-		ops.Add(2 * int64(n))
-		if sn := s.Norm2(ops); sn/bNorm <= tol {
-			x.AXPY(alpha, pHat, ops)
+		tm.AXPYTo(s, r, -alpha, v, ops)
+		if sn := tm.Norm2(s, ops); sn/bNorm <= tol {
+			tm.AXPY(x, alpha, pHat, ops)
 			return SolveStats{Iterations: it, Residual: sn / bNorm}, nil
 		}
-		for i := range sHat {
-			sHat[i] = invD[i] * s[i]
-		}
-		ops.Add(int64(n))
-		a.MulVec(t, sHat, ops)
-		tt := t.Dot(t, ops)
+		tm.MulElem(sHat, invD, s, ops)
+		tm.MulVec(a, t, sHat, ops)
+		tt := tm.Dot(t, t, ops)
 		if tt == 0 {
 			return SolveStats{Iterations: it}, ErrBreakdown
 		}
-		omega = t.Dot(s, ops) / tt
-		for i := range x {
-			x[i] += alpha*pHat[i] + omega*sHat[i]
-		}
-		ops.Add(4 * int64(n))
-		for i := range r {
-			r[i] = s[i] - omega*t[i]
-		}
-		ops.Add(2 * int64(n))
-		if rn := r.Norm2(ops); rn/bNorm <= tol {
+		omega = tm.Dot(t, s, ops) / tt
+		tm.AXPY2(x, alpha, pHat, omega, sHat, ops)
+		tm.AXPYTo(r, s, -omega, t, ops)
+		if rn := tm.Norm2(r, ops); rn/bNorm <= tol {
 			return SolveStats{Iterations: it, Residual: rn / bNorm}, nil
 		}
 		if math.Abs(omega) < 1e-300 {

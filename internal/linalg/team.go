@@ -1,0 +1,550 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// redChunk is the fixed reduction chunk: dot products and norms are summed
+// as per-chunk partials folded in chunk order, so the result depends only
+// on the vector length — never on how many workers computed the chunks.
+// This is what makes the parallel kernels bit-for-bit identical to the
+// serial ones at any team size and any GOMAXPROCS. Vectors shorter than
+// one chunk reduce to the classic single running sum.
+const redChunk = 1024
+
+// MaxTeam caps the size of a Team.
+const MaxTeam = 64
+
+// Parallel cut-overs: below these sizes the fork-join latency of a kernel
+// dispatch (a few microseconds) exceeds the work, so the Team runs the
+// serial kernel inline. They are exported tuning knobs — results are
+// bit-for-bit identical either way, so tests lower them to exercise the
+// parallel paths on small problems.
+var (
+	// ParMinVec is the smallest vector length worth a parallel
+	// elementwise kernel (axpy, scale, copy, fused updates).
+	ParMinVec = 8192
+	// ParMinRed is the smallest vector length worth a parallel
+	// dot/norm reduction.
+	ParMinRed = 8192
+	// ParMinRows is the smallest row count worth a parallel SpMV or
+	// shifted-operator value rewrite.
+	ParMinRows = 2048
+)
+
+// ImbalanceObserver receives one per-dispatch load-imbalance measurement in
+// microseconds (slowest minus fastest worker busy time). It is satisfied by
+// *obs.Histogram without linalg importing the obs package.
+type ImbalanceObserver interface{ Observe(us int64) }
+
+// kernelOp selects the kernel the worker goroutines execute on the next
+// dispatch. Arguments travel through Team fields, not closures, so a
+// steady-state dispatch allocates nothing.
+type kernelOp int
+
+const (
+	opNone kernelOp = iota
+	opMulVec
+	opShiftedUpdate
+	opDot
+	opWRMS
+	opCopy
+	opAXPY
+	opAXPYTo
+	opAXPY2
+	opUpdateP
+	opMulElem
+	opMulElemAdd
+	opScaleTo
+	opSub
+	opILUFwd
+	opILUBwd
+	opRun
+)
+
+// Team is a persistent chunked worker team: a fixed set of goroutines,
+// created once and reused for every kernel dispatch, that parallelize the
+// hot subsolve kernels — CSR/shifted-operator SpMV, fused vector ops,
+// dot/norm reductions, and the level-scheduled ILU(0) triangular solves —
+// by fixed index ranges.
+//
+// Determinism: every kernel either computes each output element with
+// exactly the serial arithmetic (elementwise ops, SpMV, triangular-solve
+// rows) or reduces through the fixed-chunk ordered fold of redChunk (dots,
+// norms), so the results are bit-for-bit identical to the serial kernels
+// at any team size and any GOMAXPROCS.
+//
+// A nil *Team is valid everywhere and runs the serial kernels, as does a
+// team of size one. A Team is owned by one goroutine: its methods must not
+// be called concurrently. Close stops the worker goroutines; a hot loop
+// should create one team per worker goroutine and keep it for the whole
+// computation (no per-call spawn).
+type Team struct {
+	n     int
+	start []chan struct{} // per-worker dispatch signals (workers 1..n-1)
+	done  chan struct{}   // completion signals
+
+	// Kernel dispatch arguments, set by the public methods before kick.
+	op          kernelOp
+	m           *CSR
+	so          *ShiftedOperator
+	f           *ILU0
+	x, y, z, d  Vector
+	alpha, beta float64
+	partial     []float64
+	split       [MaxTeam + 1]int
+	runFn       func(lo, hi int)
+
+	obs      ImbalanceObserver
+	workerUs [MaxTeam]int64
+	closed   bool
+}
+
+// NewTeam starts a team of n workers (the calling goroutine counts as one:
+// n-1 goroutines are spawned). n is clamped to [1, MaxTeam]; a team of one
+// spawns nothing and runs every kernel inline.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxTeam {
+		n = MaxTeam
+	}
+	t := &Team{n: n}
+	if n > 1 {
+		t.start = make([]chan struct{}, n)
+		t.done = make(chan struct{}, n)
+		for w := 1; w < n; w++ {
+			t.start[w] = make(chan struct{}, 1)
+			go t.worker(w)
+		}
+	}
+	return t
+}
+
+// Size returns the number of workers (1 for a nil team).
+func (t *Team) Size() int {
+	if t == nil {
+		return 1
+	}
+	return t.n
+}
+
+// SetObserver installs a load-imbalance observer: every parallel dispatch
+// reports (slowest - fastest) worker busy time in microseconds. A nil
+// observer (the default) costs nothing — no timestamps are taken.
+func (t *Team) SetObserver(o ImbalanceObserver) {
+	if t != nil {
+		t.obs = o
+	}
+}
+
+// Close stops the worker goroutines. The team must be idle; after Close
+// the kernels still work, executing serially.
+func (t *Team) Close() {
+	if t == nil || t.n <= 1 || t.closed {
+		return
+	}
+	t.closed = true
+	for w := 1; w < t.n; w++ {
+		close(t.start[w])
+	}
+	t.n = 1
+}
+
+// seq reports whether kernels must run inline (nil, single, or closed team).
+func (t *Team) seq() bool { return t == nil || t.n <= 1 }
+
+func (t *Team) worker(w int) {
+	for range t.start[w] {
+		t.exec(w)
+		t.done <- struct{}{}
+	}
+}
+
+// kick runs the prepared kernel on all workers and waits for completion.
+func (t *Team) kick() {
+	for w := 1; w < t.n; w++ {
+		t.start[w] <- struct{}{}
+	}
+	t.exec(0)
+	for w := 1; w < t.n; w++ {
+		<-t.done
+	}
+	if t.obs != nil {
+		min, max := t.workerUs[0], t.workerUs[0]
+		for w := 1; w < t.n; w++ {
+			if us := t.workerUs[w]; us < min {
+				min = us
+			} else if us > max {
+				max = us
+			}
+		}
+		t.obs.Observe(max - min)
+	}
+}
+
+// exec runs worker w's share [split[w], split[w+1]) of the current kernel.
+func (t *Team) exec(w int) {
+	var t0 time.Time
+	if t.obs != nil {
+		t0 = time.Now()
+	}
+	lo, hi := t.split[w], t.split[w+1]
+	switch t.op {
+	case opMulVec:
+		t.m.mulVecRange(t.y, t.x, lo, hi)
+	case opShiftedUpdate:
+		t.so.updateRange(t.alpha, lo, hi)
+	case opDot:
+		dotChunks(t.partial, t.x, t.y, lo, hi)
+	case opWRMS:
+		wrmsChunks(t.partial, t.x, t.y, t.alpha, t.beta, lo, hi)
+	case opCopy:
+		copy(t.y[lo:hi], t.x[lo:hi])
+	case opAXPY:
+		y, x, a := t.y, t.x, t.alpha
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	case opAXPYTo:
+		dst, y, x, a := t.z, t.y, t.x, t.alpha
+		for i := lo; i < hi; i++ {
+			dst[i] = y[i] + a*x[i]
+		}
+	case opAXPY2:
+		dst, x, y, a, b := t.z, t.x, t.y, t.alpha, t.beta
+		for i := lo; i < hi; i++ {
+			dst[i] += a*x[i] + b*y[i]
+		}
+	case opUpdateP:
+		p, r, v, beta, omega := t.z, t.y, t.x, t.alpha, t.beta
+		for i := lo; i < hi; i++ {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+	case opMulElem:
+		dst, d, x := t.z, t.d, t.x
+		for i := lo; i < hi; i++ {
+			dst[i] = d[i] * x[i]
+		}
+	case opMulElemAdd:
+		dst, d, x := t.z, t.d, t.x
+		for i := lo; i < hi; i++ {
+			dst[i] += d[i] * x[i]
+		}
+	case opScaleTo:
+		dst, x, a := t.y, t.x, t.alpha
+		for i := lo; i < hi; i++ {
+			dst[i] = a * x[i]
+		}
+	case opSub:
+		dst, a, b := t.z, t.y, t.x
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] - b[i]
+		}
+	case opILUFwd:
+		t.f.forwardRows(t.x, t.y, lo, hi)
+	case opILUBwd:
+		t.f.backwardRows(t.x, lo, hi)
+	case opRun:
+		t.runFn(lo, hi)
+	}
+	if t.obs != nil {
+		t.workerUs[w] = time.Since(t0).Microseconds()
+	}
+}
+
+// splitEven partitions [0, n) into t.n contiguous worker ranges.
+func (t *Team) splitEven(n int) { t.splitRange(0, n) }
+
+// splitRange partitions [lo, hi) into t.n contiguous worker ranges.
+func (t *Team) splitRange(lo, hi int) {
+	n := hi - lo
+	for w := 0; w <= t.n; w++ {
+		t.split[w] = lo + w*n/t.n
+	}
+}
+
+// splitRowsByNNZ partitions m's rows into t.n contiguous ranges of roughly
+// equal stored-entry counts (a plain even row split would starve workers on
+// matrices whose nnz is concentrated in few rows).
+func (t *Team) splitRowsByNNZ(m *CSR) {
+	nnz := m.NNZ()
+	t.split[0] = 0
+	for w := 1; w < t.n; w++ {
+		target := nnz * w / t.n
+		lo, hi := t.split[w-1], m.Rows
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if m.RowPtr[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		t.split[w] = lo
+	}
+	t.split[t.n] = m.Rows
+}
+
+// Run splits [0, n) into contiguous worker ranges and calls fn(lo, hi) on
+// each concurrently. fn must be safe to run from multiple goroutines on
+// disjoint ranges. Intended for cold-path parallel loops (prolongation);
+// the hot kernels have dedicated closure-free entry points.
+func (t *Team) Run(n int, fn func(lo, hi int)) {
+	if t.seq() || n < t.Size() {
+		fn(0, n)
+		return
+	}
+	t.runFn = fn
+	t.op = opRun
+	t.splitEven(n)
+	t.kick()
+	t.runFn = nil
+}
+
+// MulVec computes y = m*x, splitting rows across the team balanced by
+// stored entries. Every y[r] is one row's serial dot product, so the result
+// is exactly CSR.MulVec's.
+func (t *Team) MulVec(m *CSR, y, x Vector, ops *Ops) {
+	if t.seq() || m.Rows < ParMinRows {
+		m.MulVec(y, x, ops)
+		return
+	}
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: mulvec dims %dx%d with x[%d], y[%d]", m.Rows, m.Cols, len(x), len(y)))
+	}
+	t.m, t.y, t.x = m, y, x
+	t.op = opMulVec
+	t.splitRowsByNNZ(m)
+	t.kick()
+	ops.Add(2 * int64(m.NNZ()))
+}
+
+// Dot returns the inner product of a and b through the fixed-chunk ordered
+// reduction: workers fill per-chunk partials, the caller folds them in
+// chunk order — exactly the sum Vector.Dot computes serially.
+func (t *Team) Dot(a, b Vector, ops *Ops) float64 {
+	if t.seq() || len(a) < ParMinRed {
+		return a.Dot(b, ops)
+	}
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	nch := (len(a) + redChunk - 1) / redChunk
+	t.partial = growF(t.partial, nch)
+	t.x, t.y = a, b
+	t.op = opDot
+	t.splitEven(nch)
+	t.kick()
+	s := 0.0
+	for _, p := range t.partial[:nch] {
+		s += p
+	}
+	ops.Add(2 * int64(len(a)))
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v (parallel Dot plus sqrt).
+func (t *Team) Norm2(v Vector, ops *Ops) float64 {
+	return math.Sqrt(t.Dot(v, v, ops))
+}
+
+// WRMSNorm is the parallel twin of Vector.WRMSNorm, reduced through the
+// same fixed-chunk ordered fold.
+func (t *Team) WRMSNorm(v, ref Vector, atol, rtol float64, ops *Ops) float64 {
+	if t.seq() || len(v) < ParMinRed {
+		return v.WRMSNorm(ref, atol, rtol, ops)
+	}
+	nch := (len(v) + redChunk - 1) / redChunk
+	t.partial = growF(t.partial, nch)
+	t.x, t.y = v, ref
+	t.alpha, t.beta = atol, rtol
+	t.op = opWRMS
+	t.splitEven(nch)
+	t.kick()
+	s := 0.0
+	for _, p := range t.partial[:nch] {
+		s += p
+	}
+	ops.Add(5 * int64(len(v)))
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Copy copies src into dst in parallel.
+func (t *Team) Copy(dst, src Vector) {
+	if t.seq() || len(dst) < ParMinVec {
+		copy(dst, src)
+		return
+	}
+	t.y, t.x = dst, src
+	t.op = opCopy
+	t.splitEven(len(dst))
+	t.kick()
+}
+
+// AXPY computes y += a*x.
+func (t *Team) AXPY(y Vector, a float64, x Vector, ops *Ops) {
+	if t.seq() || len(y) < ParMinVec {
+		y.AXPY(a, x, ops)
+		return
+	}
+	if len(y) != len(x) {
+		panic(fmt.Sprintf("linalg: axpy length mismatch %d != %d", len(y), len(x)))
+	}
+	t.y, t.x, t.alpha = y, x, a
+	t.op = opAXPY
+	t.splitEven(len(y))
+	t.kick()
+	ops.Add(2 * int64(len(y)))
+}
+
+// AXPYTo computes dst = y + a*x (dst may alias y or x).
+func (t *Team) AXPYTo(dst, y Vector, a float64, x Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		for i := range dst {
+			dst[i] = y[i] + a*x[i]
+		}
+		ops.Add(2 * int64(len(dst)))
+		return
+	}
+	t.z, t.y, t.x, t.alpha = dst, y, x, a
+	t.op = opAXPYTo
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(2 * int64(len(dst)))
+}
+
+// AXPY2 computes dst += a*x + b*y, the fused two-direction update of the
+// BiCGStab solution step.
+func (t *Team) AXPY2(dst Vector, a float64, x Vector, b float64, y Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		for i := range dst {
+			dst[i] += a*x[i] + b*y[i]
+		}
+		ops.Add(4 * int64(len(dst)))
+		return
+	}
+	t.z, t.x, t.y, t.alpha, t.beta = dst, x, y, a, b
+	t.op = opAXPY2
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(4 * int64(len(dst)))
+}
+
+// UpdateP computes the fused BiCGStab search-direction update
+// p = r + beta*(p - omega*v).
+func (t *Team) UpdateP(p, r, v Vector, beta, omega float64, ops *Ops) {
+	if t.seq() || len(p) < ParMinVec {
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		ops.Add(4 * int64(len(p)))
+		return
+	}
+	t.z, t.y, t.x, t.alpha, t.beta = p, r, v, beta, omega
+	t.op = opUpdateP
+	t.splitEven(len(p))
+	t.kick()
+	ops.Add(4 * int64(len(p)))
+}
+
+// MulElem computes dst = d .* x (the Jacobi preconditioner application).
+func (t *Team) MulElem(dst, d, x Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		for i := range dst {
+			dst[i] = d[i] * x[i]
+		}
+		ops.Add(int64(len(dst)))
+		return
+	}
+	t.z, t.d, t.x = dst, d, x
+	t.op = opMulElem
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(int64(len(dst)))
+}
+
+// MulElemAdd computes dst += d .* x.
+func (t *Team) MulElemAdd(dst, d, x Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		for i := range dst {
+			dst[i] += d[i] * x[i]
+		}
+		ops.Add(2 * int64(len(dst)))
+		return
+	}
+	t.z, t.d, t.x = dst, d, x
+	t.op = opMulElemAdd
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(2 * int64(len(dst)))
+}
+
+// ScaleTo computes dst = a*x (dst may alias x; used to normalize Krylov
+// basis vectors).
+func (t *Team) ScaleTo(dst Vector, a float64, x Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		for i := range dst {
+			dst[i] = a * x[i]
+		}
+		ops.Add(int64(len(dst)))
+		return
+	}
+	t.y, t.x, t.alpha = dst, x, a
+	t.op = opScaleTo
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(int64(len(dst)))
+}
+
+// Sub computes dst = a - b component-wise (dst may alias either operand).
+func (t *Team) Sub(dst, a, b Vector, ops *Ops) {
+	if t.seq() || len(dst) < ParMinVec {
+		dst.Sub(a, b, ops)
+		return
+	}
+	t.z, t.y, t.x = dst, a, b
+	t.op = opSub
+	t.splitEven(len(dst))
+	t.kick()
+	ops.Add(int64(len(dst)))
+}
+
+// dotChunks fills partial[c] with the serial dot of chunk c for every chunk
+// in [c0, c1).
+func dotChunks(partial []float64, a, b Vector, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		lo := c * redChunk
+		hi := lo + redChunk
+		if hi > len(a) {
+			hi = len(a)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += a[i] * b[i]
+		}
+		partial[c] = p
+	}
+}
+
+// wrmsChunks fills partial[c] with the weighted squared-error sum of chunk
+// c for every chunk in [c0, c1).
+func wrmsChunks(partial []float64, v, ref Vector, atol, rtol float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		lo := c * redChunk
+		hi := lo + redChunk
+		if hi > len(v) {
+			hi = len(v)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			w := atol + rtol*math.Abs(ref[i])
+			e := v[i] / w
+			p += e * e
+		}
+		partial[c] = p
+	}
+}

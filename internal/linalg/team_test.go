@@ -1,0 +1,350 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowerParMins drops every parallel cut-over to 1 for the duration of a
+// test, so team dispatch is exercised even on tiny vectors, and restores
+// the defaults on cleanup.
+func lowerParMins(t *testing.T) {
+	t.Helper()
+	savedVec, savedRed, savedRows, savedLvl := ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows
+	ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows = 1, 1, 1, 1
+	t.Cleanup(func() {
+		ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+	})
+}
+
+func randVec(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// teamSizes are the team widths every kernel test sweeps, including a size
+// that does not divide typical lengths evenly.
+var teamSizes = []int{1, 2, 3, 4}
+
+// TestTeamKernelsBitIdentical checks every Team kernel against its serial
+// twin, element for element and bit for bit, across team sizes — the core
+// determinism claim of the intra-grid parallel layer.
+func TestTeamKernelsBitIdentical(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000 // spans several redChunk boundaries, not a multiple
+	a := gridOperator(70)
+	x := randVec(rng, n)
+	y := randVec(rng, n)
+	d := randVec(rng, n)
+	gx := randVec(rng, a.Cols)
+
+	for _, size := range teamSizes {
+		tm := NewTeam(size)
+		defer tm.Close()
+
+		// Reductions: identical association via the fixed-chunk fold.
+		var serOps, parOps Ops
+		if got, want := tm.Dot(x, y, &parOps), x.Dot(y, &serOps); got != want {
+			t.Errorf("size %d: Dot = %v, want %v", size, got, want)
+		}
+		if got, want := tm.Norm2(x, &parOps), math.Sqrt(x.Dot(x, &serOps)); got != want {
+			t.Errorf("size %d: Norm2 = %v, want %v", size, got, want)
+		}
+		if got, want := tm.WRMSNorm(x, y, 1e-3, 1e-3, &parOps), x.WRMSNorm(y, 1e-3, 1e-3, &serOps); got != want {
+			t.Errorf("size %d: WRMSNorm = %v, want %v", size, got, want)
+		}
+
+		// SpMV, split by nnz.
+		ys, yp := NewVector(a.Rows), NewVector(a.Rows)
+		a.MulVec(ys, gx, &serOps)
+		tm.MulVec(a, yp, gx, &parOps)
+		checkSame(t, size, "MulVec", yp, ys)
+
+		// Shifted-operator value rewrite.
+		so1, so2 := NewShiftedOperator(a), NewShiftedOperator(a)
+		ms := so1.Update(0.037, &serOps)
+		mp := so2.UpdateWith(tm, 0.037, &parOps)
+		for i := range ms.Val {
+			if ms.Val[i] != mp.Val[i] {
+				t.Fatalf("size %d: ShiftedOperator val[%d] = %v, want %v", size, i, mp.Val[i], ms.Val[i])
+			}
+		}
+
+		// Elementwise kernels: compute each element with serial arithmetic.
+		ser, par := NewVector(n), NewVector(n)
+
+		copy(ser, y)
+		ser.AXPY(0.71, x, &serOps)
+		copy(par, y)
+		tm.AXPY(par, 0.71, x, &parOps)
+		checkSame(t, size, "AXPY", par, ser)
+
+		for i := range ser {
+			ser[i] = y[i] + (-0.31)*x[i]
+		}
+		serOps.Add(2 * int64(n)) // the hand-rolled loops charge the kernels' rates
+		tm.AXPYTo(par, y, -0.31, x, &parOps)
+		checkSame(t, size, "AXPYTo", par, ser)
+
+		copy(ser, d)
+		copy(par, d)
+		for i := range ser {
+			ser[i] += 0.5*x[i] + (-1.25)*y[i]
+		}
+		serOps.Add(4 * int64(n))
+		tm.AXPY2(par, 0.5, x, -1.25, y, &parOps)
+		checkSame(t, size, "AXPY2", par, ser)
+
+		copy(ser, d)
+		copy(par, d)
+		for i := range ser {
+			ser[i] = y[i] + 0.9*(ser[i]-0.4*x[i])
+		}
+		serOps.Add(4 * int64(n))
+		tm.UpdateP(par, y, x, 0.9, 0.4, &parOps)
+		checkSame(t, size, "UpdateP", par, ser)
+
+		for i := range ser {
+			ser[i] = d[i] * x[i]
+		}
+		serOps.Add(int64(n))
+		tm.MulElem(par, d, x, &parOps)
+		checkSame(t, size, "MulElem", par, ser)
+
+		copy(ser, y)
+		copy(par, y)
+		for i := range ser {
+			ser[i] += d[i] * x[i]
+		}
+		serOps.Add(2 * int64(n))
+		tm.MulElemAdd(par, d, x, &parOps)
+		checkSame(t, size, "MulElemAdd", par, ser)
+
+		for i := range ser {
+			ser[i] = 1.75 * x[i]
+		}
+		serOps.Add(int64(n))
+		tm.ScaleTo(par, 1.75, x, &parOps)
+		checkSame(t, size, "ScaleTo", par, ser)
+
+		ser.Sub(y, x, &serOps)
+		tm.Sub(par, y, x, &parOps)
+		checkSame(t, size, "Sub", par, ser)
+
+		tm.Copy(par, x)
+		checkSame(t, size, "Copy", par, x)
+
+		// Exact flop accounting is part of the contract: tests elsewhere pin
+		// flop counts, so the team kernels must charge exactly the serial
+		// amounts.
+		if parOps.Flops != serOps.Flops {
+			t.Errorf("size %d: team flops %d != serial flops %d", size, parOps.Flops, serOps.Flops)
+		}
+	}
+}
+
+func checkSame(t *testing.T, size int, kernel string, got, want Vector) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("size %d: %s length %d, want %d", size, kernel, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("size %d: %s[%d] = %v, want %v (bit difference)", size, kernel, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTeamReductionChunkBoundaries pins the ordered reduction at the exact
+// chunk-boundary lengths — one below, at, and above each multiple of
+// redChunk — where a partial chunk or an off-by-one split would show up.
+func TestTeamReductionChunkBoundaries(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(11))
+	var sizes []int
+	for _, base := range []int{redChunk, 2 * redChunk, 3 * redChunk} {
+		sizes = append(sizes, base-1, base, base+1)
+	}
+	sizes = append(sizes, 1, 2, redChunk/2)
+	for _, size := range teamSizes {
+		tm := NewTeam(size)
+		defer tm.Close()
+		for _, n := range sizes {
+			a := randVec(rng, n)
+			b := randVec(rng, n)
+			if got, want := tm.Dot(a, b, nil), a.Dot(b, nil); got != want {
+				t.Errorf("team %d, n=%d: Dot = %v, want %v", size, n, got, want)
+			}
+			if got, want := tm.WRMSNorm(a, b, 1e-6, 1e-4, nil), a.WRMSNorm(b, 1e-6, 1e-4, nil); got != want {
+				t.Errorf("team %d, n=%d: WRMSNorm = %v, want %v", size, n, got, want)
+			}
+		}
+	}
+}
+
+// TestSerialReductionUnchangedBelowOneChunk guards the compatibility claim
+// of the chunked serial Dot: for vectors at most one chunk long the fold
+// degenerates to the classic single running sum.
+func TestSerialReductionUnchangedBelowOneChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, redChunk - 1, redChunk} {
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		want := 0.0
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := a.Dot(b, nil); got != want {
+			t.Errorf("n=%d: Dot = %v, want running sum %v", n, got, want)
+		}
+	}
+}
+
+// TestILUSolveWithMatchesSolve checks the level-scheduled parallel
+// triangular solve against the serial natural-order solve, bit for bit.
+func TestILUSolveWithMatchesSolve(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(5))
+	a := gridOperator(40) // 1600 rows, plenty of levels
+	f, err := NewILU0(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(rng, a.Rows)
+	want := NewVector(a.Rows)
+	var serOps Ops
+	f.Solve(want, b, &serOps)
+	for _, size := range teamSizes {
+		tm := NewTeam(size)
+		got := NewVector(a.Rows)
+		var parOps Ops
+		f.SolveWith(tm, got, b, &parOps)
+		tm.Close()
+		checkSame(t, size, "ILU0.SolveWith", got, want)
+		if parOps.Flops != serOps.Flops {
+			t.Errorf("size %d: SolveWith flops %d != Solve flops %d", size, parOps.Flops, serOps.Flops)
+		}
+	}
+}
+
+// TestTeamRun covers the generic range-split entry point used by the
+// prolongation.
+func TestTeamRun(t *testing.T) {
+	for _, size := range teamSizes {
+		tm := NewTeam(size)
+		out := make([]int, 1000)
+		tm.Run(len(out), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		tm.Close()
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("size %d: out[%d] = %d, want %d", size, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestTeamSteadyStateAllocFree asserts that a warmed-up team dispatches its
+// kernels without allocating: opcode dispatch, argument passing through
+// fields, and the pre-grown partial buffer must stay off the heap.
+func TestTeamSteadyStateAllocFree(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(13))
+	const n = 4096
+	a := gridOperator(64)
+	x := randVec(rng, n)
+	y := randVec(rng, n)
+	gx := randVec(rng, a.Cols)
+	gy := NewVector(a.Rows)
+	tm := NewTeam(4)
+	defer tm.Close()
+	// Warm up: grows the partial buffer once.
+	tm.Dot(x, y, nil)
+	if allocs := testing.AllocsPerRun(50, func() {
+		tm.Dot(x, y, nil)
+		tm.WRMSNorm(x, y, 1e-3, 1e-3, nil)
+		tm.AXPY(y, 0.5, x, nil)
+		tm.MulVec(a, gy, gx, nil)
+		tm.Copy(y, x)
+	}); allocs != 0 {
+		t.Fatalf("steady-state team dispatch allocates %v per run, want 0", allocs)
+	}
+}
+
+// countingObserver records imbalance observations.
+type countingObserver struct {
+	n    int
+	last int64
+}
+
+func (o *countingObserver) Observe(us int64) { o.n++; o.last = us }
+
+// TestTeamImbalanceObserver checks that an installed observer sees one
+// measurement per parallel dispatch and none for inline (serial) kernels.
+func TestTeamImbalanceObserver(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(17))
+	x := randVec(rng, 2048)
+	y := randVec(rng, 2048)
+	tm := NewTeam(2)
+	defer tm.Close()
+	obs := &countingObserver{}
+	tm.SetObserver(obs)
+	tm.Dot(x, y, nil)
+	tm.AXPY(y, 0.5, x, nil)
+	if obs.n != 2 {
+		t.Fatalf("observer saw %d dispatches, want 2", obs.n)
+	}
+	if obs.last < 0 {
+		t.Fatalf("imbalance %d us < 0", obs.last)
+	}
+	// A single team runs inline and must not report.
+	single := NewTeam(1)
+	single.SetObserver(obs)
+	single.Dot(x, y, nil)
+	if obs.n != 2 {
+		t.Fatalf("single-worker team reported a dispatch (saw %d, want 2)", obs.n)
+	}
+}
+
+// TestTeamCloseFallsBackToSerial checks that kernels still work — serially —
+// after Close, which matters for the deferred Close in panicking workers.
+func TestTeamCloseFallsBackToSerial(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(19))
+	x := randVec(rng, 512)
+	y := randVec(rng, 512)
+	tm := NewTeam(4)
+	tm.Close()
+	tm.Close() // idempotent
+	if got, want := tm.Dot(x, y, nil), x.Dot(y, nil); got != want {
+		t.Fatalf("closed team Dot = %v, want %v", got, want)
+	}
+	if tm.Size() != 1 {
+		t.Fatalf("closed team Size = %d, want 1", tm.Size())
+	}
+}
+
+// TestNilTeam checks the nil-receiver contract: every entry point runs the
+// serial kernel.
+func TestNilTeam(t *testing.T) {
+	var tm *Team
+	x := Vector{1, 2, 3}
+	y := Vector{4, 5, 6}
+	if got, want := tm.Dot(x, y, nil), x.Dot(y, nil); got != want {
+		t.Fatalf("nil team Dot = %v, want %v", got, want)
+	}
+	if tm.Size() != 1 {
+		t.Fatalf("nil team Size = %d, want 1", tm.Size())
+	}
+	tm.SetObserver(nil) // must not panic
+	tm.Close()          // must not panic
+}

@@ -66,14 +66,27 @@ func (v Vector) Scale(a float64, ops *Ops) {
 	ops.Add(int64(len(v)))
 }
 
-// Dot returns the inner product of v and x.
+// Dot returns the inner product of v and x, summed through the fixed-chunk
+// ordered reduction: per-chunk partials of redChunk elements folded in chunk
+// order. The chunking fixes the association of the sum independently of how
+// many workers compute the chunks, which is what lets Team.Dot return
+// bit-for-bit this value at any team size. Vectors shorter than one chunk
+// reduce to the classic single running sum.
 func (v Vector) Dot(x Vector, ops *Ops) float64 {
 	if len(v) != len(x) {
 		panic(fmt.Sprintf("linalg: dot length mismatch %d != %d", len(v), len(x)))
 	}
 	s := 0.0
-	for i := range v {
-		s += v[i] * x[i]
+	for lo := 0; lo < len(v); lo += redChunk {
+		hi := lo + redChunk
+		if hi > len(v) {
+			hi = len(v)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += v[i] * x[i]
+		}
+		s += p
 	}
 	ops.Add(2 * int64(len(v)))
 	return s
@@ -96,16 +109,26 @@ func (v Vector) NormInf() float64 {
 }
 
 // WRMSNorm returns the weighted root-mean-square norm used by the step-size
-// controller: sqrt(mean((v_i / (atol + rtol*|ref_i|))^2)).
+// controller: sqrt(mean((v_i / (atol + rtol*|ref_i|))^2)). Like Dot it sums
+// through the fixed-chunk ordered reduction so Team.WRMSNorm matches it
+// bit-for-bit.
 func (v Vector) WRMSNorm(ref Vector, atol, rtol float64, ops *Ops) float64 {
 	if len(v) == 0 {
 		return 0
 	}
 	s := 0.0
-	for i := range v {
-		w := atol + rtol*math.Abs(ref[i])
-		e := v[i] / w
-		s += e * e
+	for lo := 0; lo < len(v); lo += redChunk {
+		hi := lo + redChunk
+		if hi > len(v) {
+			hi = len(v)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			w := atol + rtol*math.Abs(ref[i])
+			e := v[i] / w
+			p += e * e
+		}
+		s += p
 	}
 	ops.Add(5 * int64(len(v)))
 	return math.Sqrt(s / float64(len(v)))

@@ -26,10 +26,22 @@ type Workspace struct {
 	iluKey   float64
 	iluValid bool
 	iluErr   error
+
+	// team, when non-nil, parallelizes the solver kernels across its
+	// workers. Results are bit-for-bit identical with any team (or none).
+	team *Team
 }
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// SetTeam routes the workspace's solver kernels through t (nil restores
+// serial execution). The workspace does not own the team: the caller keeps
+// responsibility for Close.
+func (ws *Workspace) SetTeam(t *Team) { ws.team = t }
+
+// Team returns the team set by SetTeam (nil means serial).
+func (ws *Workspace) Team() *Team { return ws.team }
 
 // grow returns v with length n, reusing its backing array when possible.
 func grow(v Vector, n int) Vector {

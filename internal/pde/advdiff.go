@@ -135,7 +135,15 @@ type Disc struct {
 	// non-reentrant: a Disc must not be shared by concurrent
 	// integrations (each sparse-grid worker builds its own).
 	rhs linalg.Vector
+
+	// team, when non-nil, parallelizes F's SpMV (rosenbrock.TeamSystem).
+	team *linalg.Team
 }
+
+// SetTeam routes F's A*u product through t (nil restores serial execution);
+// results are bit-for-bit identical either way. The boundary/source loop
+// stays on the caller — it evaluates user closures.
+func (d *Disc) SetTeam(t *linalg.Team) { d.team = t }
 
 type sourcePoint struct {
 	row  int
@@ -240,12 +248,12 @@ func (d *Disc) RHS(t float64, b linalg.Vector, ops *linalg.Ops) {
 
 // F evaluates the semi-discrete right-hand side out = A*u + b(t).
 func (d *Disc) F(t float64, u, out linalg.Vector, ops *linalg.Ops) {
-	d.A.MulVec(out, u, ops)
+	d.team.MulVec(d.A, out, u, ops)
 	if d.rhs == nil {
 		d.rhs = linalg.NewVector(len(out))
 	}
 	d.RHS(t, d.rhs, ops)
-	out.AXPY(1, d.rhs, ops)
+	d.team.AXPY(out, 1, d.rhs, ops)
 }
 
 // InitialInterior samples the initial condition at the interior points.

@@ -114,6 +114,24 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // sharing the pool).
 func (w *Workspace) Lin() *linalg.Workspace { return &w.lin }
 
+// SetTeam routes the integration's hot kernels — the stage solves, the
+// shifted-operator rewrite, and the stage-combination vector ops — through
+// t (nil restores serial execution). Results are bit-for-bit identical at
+// any team size. The workspace does not own the team; the caller keeps
+// responsibility for Close.
+func (w *Workspace) SetTeam(t *linalg.Team) { w.lin.SetTeam(t) }
+
+// Team returns the team set by SetTeam (nil means serial).
+func (w *Workspace) Team() *linalg.Team { return w.lin.Team() }
+
+// TeamSystem is implemented by systems whose F evaluation can use a Team
+// (e.g. the PDE right-hand side's SpMV); NewStepper hands the workspace's
+// team to such systems automatically.
+type TeamSystem interface {
+	System
+	SetTeam(*linalg.Team)
+}
+
 func growVec(v *linalg.Vector, n int) {
 	if cap(*v) < n {
 		*v = linalg.NewVector(n)
@@ -224,6 +242,9 @@ func NewStepper(sys System, u linalg.Vector, t0, t1 float64, cfg Config) (*Stepp
 		s.ws = NewWorkspace()
 	}
 	s.ws.ensure(n, sys.Jacobian())
+	if ts, ok := sys.(TeamSystem); ok {
+		ts.SetTeam(s.ws.Team())
+	}
 	return s, nil
 }
 
@@ -250,18 +271,19 @@ func (s *Stepper) Step() error {
 	}
 	ops := &s.st.Ops
 	ws := s.ws
+	tm := ws.Team()
 	u := s.u
 
 	tau := math.Min(s.h, s.t1-s.t)
 	// M = I - gamma*tau*J: an in-place value rewrite of the cached
 	// pattern, skipped entirely when the controller kept the step.
 	key := Gamma * tau
-	m := ws.op.Update(key, ops)
+	m := ws.op.UpdateWith(tm, key, ops)
 
 	// Stage 1: M k1 = F(t, u).
 	s.sys.F(s.t, u, ws.f1, ops)
 	s.st.FEvals++
-	copy(ws.k1, ws.f1) // initial guess: explicit value
+	tm.Copy(ws.k1, ws.f1) // initial guess: explicit value
 	s1, err := s.cfg.solve(ws, m, ws.k1, ws.f1, s.linTol, key, ops)
 	s.st.LinIters += s1.Iterations
 	if err != nil {
@@ -269,12 +291,12 @@ func (s *Stepper) Step() error {
 	}
 
 	// Stage 2: M k2 = F(t+tau, u + tau*k1) - 2 k1.
-	copy(ws.u1, u)
-	ws.u1.AXPY(tau, ws.k1, ops)
+	tm.Copy(ws.u1, u)
+	tm.AXPY(ws.u1, tau, ws.k1, ops)
 	s.sys.F(s.t+tau, ws.u1, ws.f2, ops)
 	s.st.FEvals++
-	ws.f2.AXPY(-2, ws.k1, ops)
-	copy(ws.k2, ws.f2)
+	tm.AXPY(ws.f2, -2, ws.k1, ops)
+	tm.Copy(ws.k2, ws.f2)
 	s2, err := s.cfg.solve(ws, m, ws.k2, ws.f2, s.linTol, key, ops)
 	s.st.LinIters += s2.Iterations
 	if err != nil {
@@ -283,17 +305,18 @@ func (s *Stepper) Step() error {
 
 	// Candidate solution and embedded error estimate:
 	// u_{n+1} = u + 1.5 tau k1 + 0.5 tau k2; est = (tau/2)(k1 + k2).
-	copy(ws.uNew, u)
-	ws.uNew.AXPY(1.5*tau, ws.k1, ops)
-	ws.uNew.AXPY(0.5*tau, ws.k2, ops)
-	for i := range ws.est {
-		ws.est[i] = 0.5 * tau * (ws.k1[i] + ws.k2[i])
-	}
+	tm.Copy(ws.uNew, u)
+	tm.AXPY(ws.uNew, 1.5*tau, ws.k1, ops)
+	tm.AXPY(ws.uNew, 0.5*tau, ws.k2, ops)
+	// est = (0.5 tau)(k1 + 1*k2), fused ops bit-identical to the direct
+	// expression (1*x is exact, and Go associates 0.5*tau*(...) leftward).
+	tm.AXPYTo(ws.est, ws.k1, 1, ws.k2, nil)
+	tm.ScaleTo(ws.est, 0.5*tau, ws.est, nil)
 	ops.Add(3 * int64(len(u)))
 
-	errNorm := ws.est.WRMSNorm(u, s.cfg.Tol, s.cfg.Tol, ops)
+	errNorm := tm.WRMSNorm(ws.est, u, s.cfg.Tol, s.cfg.Tol, ops)
 	if errNorm <= 1 {
-		copy(u, ws.uNew)
+		tm.Copy(u, ws.uNew)
 		s.t += tau
 		s.st.Steps++
 	} else {

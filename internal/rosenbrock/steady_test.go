@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/grid"
+	"repro/internal/linalg"
 	"repro/internal/pde"
 	"repro/internal/rosenbrock"
 )
@@ -17,6 +18,12 @@ import (
 // pulse the error estimate collapses, h grows geometrically and t1 is
 // reached in a few dozen steps — useless for metering the loop).
 func steadyStepper(tb testing.TB, g grid.Grid, lin rosenbrock.LinearSolver) *rosenbrock.Stepper {
+	return steadyStepperCores(tb, g, lin, 1)
+}
+
+// steadyStepperCores is steadyStepper with the stepper's kernels running on
+// an intra-grid team of the given size (1 = serial, no team goroutines).
+func steadyStepperCores(tb testing.TB, g grid.Grid, lin rosenbrock.LinearSolver, cores int) *rosenbrock.Stepper {
 	prob := &pde.Problem{
 		A1: 1, A2: 0.5, D: 0.01,
 		Source: func(x, y, t float64) float64 {
@@ -25,7 +32,13 @@ func steadyStepper(tb testing.TB, g grid.Grid, lin rosenbrock.LinearSolver) *ros
 	}
 	d := pde.NewDisc(g, prob)
 	u := d.InitialInterior()
-	sp, err := rosenbrock.NewStepper(d, u, 0, 1e9, rosenbrock.Config{Tol: 1e-3, Solver: lin, MaxSteps: 1 << 60})
+	ws := rosenbrock.NewWorkspace()
+	if cores > 1 {
+		team := linalg.NewTeam(cores)
+		tb.Cleanup(team.Close)
+		ws.SetTeam(team)
+	}
+	sp, err := rosenbrock.NewStepper(d, u, 0, 1e9, rosenbrock.Config{Tol: 1e-3, Solver: lin, MaxSteps: 1 << 60, Work: ws})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -48,47 +61,73 @@ func steadyStepper(tb testing.TB, g grid.Grid, lin rosenbrock.LinearSolver) *ros
 // linear solver.
 func TestStepAllocFree(t *testing.T) {
 	for _, lin := range []rosenbrock.LinearSolver{rosenbrock.BiCGStab, rosenbrock.GMRES, rosenbrock.ILU} {
-		t.Run(lin.String(), func(t *testing.T) {
-			sp := steadyStepper(t, grid.Grid{Root: 2, L1: 2, L2: 2}, lin)
-			before := sp.Stats()
-			var stepErr error
-			if n := testing.AllocsPerRun(200, func() {
-				if err := sp.Step(); err != nil {
-					stepErr = err
+		for _, cores := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/cores=%d", lin, cores), func(t *testing.T) {
+				if cores > 1 {
+					// Force the parallel kernel paths on this small grid: the
+					// opcode dispatch must be as alloc-free as the serial
+					// kernels (warm-up grows the reduction partial buffer).
+					lowerParMins(t)
 				}
-			}); n != 0 {
-				t.Fatalf("%v: %v allocs per step in steady state, want 0", lin, n)
-			}
-			if stepErr != nil {
-				t.Fatal(stepErr)
-			}
-			after := sp.Stats()
-			// Every metered call must have been a real step attempt, not a
-			// post-completion no-op.
-			if attempts := (after.Steps + after.Rejected) - (before.Steps + before.Rejected); attempts < 200 {
-				t.Fatalf("only %d real step attempts were metered", attempts)
-			}
-		})
+				sp := steadyStepperCores(t, grid.Grid{Root: 2, L1: 2, L2: 2}, lin, cores)
+				before := sp.Stats()
+				var stepErr error
+				if n := testing.AllocsPerRun(200, func() {
+					if err := sp.Step(); err != nil {
+						stepErr = err
+					}
+				}); n != 0 {
+					t.Fatalf("%v/cores=%d: %v allocs per step in steady state, want 0", lin, cores, n)
+				}
+				if stepErr != nil {
+					t.Fatal(stepErr)
+				}
+				after := sp.Stats()
+				// Every metered call must have been a real step attempt, not a
+				// post-completion no-op.
+				if attempts := (after.Steps + after.Rejected) - (before.Steps + before.Rejected); attempts < 200 {
+					t.Fatalf("only %d real step attempts were metered", attempts)
+				}
+			})
+		}
 	}
 }
 
+// lowerParMins drops the linalg parallel cut-overs to 1 for the duration of
+// a test and restores them on cleanup.
+func lowerParMins(t *testing.T) {
+	t.Helper()
+	savedVec, savedRed, savedRows, savedLvl := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows
+	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = 1, 1, 1, 1
+	t.Cleanup(func() {
+		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+	})
+}
+
 // BenchmarkSubsolveSteady times the steady-state stepping loop of one
-// Subsolve (the paper's heavy kernel) with allocation reporting: the
-// b.ReportAllocs line in the output must read 0 allocs/op.
+// Subsolve (the paper's heavy kernel) on the finest paper grid
+// (level 5, 127x127 interior = 16129 unknowns), with allocation reporting
+// — the b.ReportAllocs line must read 0 allocs/op at every team size — and
+// an intra-grid cores axis: cores=1 is the serial baseline, the larger
+// teams measure the strong scaling of the parallel kernels (bounded by
+// GOMAXPROCS; on a single-core host the >1 rows only pay dispatch
+// overhead).
 func BenchmarkSubsolveSteady(b *testing.B) {
 	for _, lin := range []rosenbrock.LinearSolver{rosenbrock.BiCGStab, rosenbrock.GMRES, rosenbrock.ILU} {
-		b.Run(lin.String(), func(b *testing.B) {
-			sp := steadyStepper(b, grid.Grid{Root: 2, L1: 3, L2: 3}, lin)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := sp.Step(); err != nil {
-					b.Fatal(err)
+		for _, cores := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%v/cores=%d", lin, cores), func(b *testing.B) {
+				sp := steadyStepperCores(b, grid.Grid{Root: 2, L1: 5, L2: 5}, lin, cores)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sp.Step(); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			st := sp.Stats()
-			b.ReportMetric(float64(st.LinIters)/float64(st.Steps+st.Rejected), "krylov_iters/step")
-		})
+				st := sp.Stats()
+				b.ReportMetric(float64(st.LinIters)/float64(st.Steps+st.Rejected), "krylov_iters/step")
+			})
+		}
 	}
 }
 

@@ -3,12 +3,15 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/pde"
 	"repro/internal/rosenbrock"
+	"repro/internal/workmodel"
 )
 
 // Job is the unit of information a worker needs to do its job: which grid
@@ -20,6 +23,8 @@ type Job struct {
 	Tol  float64
 	TEnd float64
 	Lin  rosenbrock.LinearSolver
+	// Cores sizes the worker's intra-grid linalg.Team (0 or 1 = serial).
+	Cores int
 }
 
 // jobResult is the unit a worker writes back through the KK stream to the
@@ -50,6 +55,35 @@ func Concurrent(p Params) (*Output, error) {
 	index := make(map[grid.Grid]int, len(fam))
 	for i, g := range fam {
 		index[g] = i
+	}
+	// The workmodel weights drive both decisions below: jobs are submitted
+	// largest-grid-first so the critical-path grid starts at t=0 (the family
+	// order would start it wherever the nested loop put it), and — when no
+	// explicit CoresPerWorker is set — GOMAXPROCS is apportioned across the
+	// workers proportional to grid cost, so the finest grids get the most
+	// cores. Neither affects the output: results are recorded by grid and
+	// combined in family order, and kernels are deterministic at any team
+	// size.
+	model := workmodel.Paper()
+	weights := make([]float64, len(fam))
+	for i, g := range fam {
+		weights[i] = model.GridWork(g, p.Tol)
+	}
+	order := make([]int, len(fam))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	var cores []int
+	if p.CoresPerWorker > 0 {
+		cores = make([]int, len(fam))
+		for i := range cores {
+			cores[i] = p.CoresPerWorker
+		}
+	} else {
+		cores = workmodel.Allocate(runtime.GOMAXPROCS(0), weights)
 	}
 	results := make([]Result, len(fam))
 	var masterErr error
@@ -96,8 +130,8 @@ func Concurrent(p Params) (*Output, error) {
 		// the nested loop, one worker per grid — plus retry workers for
 		// jobs whose worker was lost.
 		pool := m.NewPool()
-		for _, g := range fam {
-			pool.Submit(Job{Grid: g, Prob: p.Problem, Tol: p.Tol, TEnd: p.TEnd, Lin: p.Solver})
+		for _, i := range order {
+			pool.Submit(Job{Grid: fam[i], Prob: p.Problem, Tol: p.Tol, TEnd: p.TEnd, Lin: p.Solver, Cores: cores[i]})
 		}
 		// Step 3f: collect results (they arrive in completion order).
 		for range fam {
@@ -116,7 +150,7 @@ func Concurrent(p Params) (*Output, error) {
 					if p.Obs != nil {
 						p.Obs.Emit(obs.KFallback, "Master", job.Grid.String(), int64(jf.ID), int64(jf.Attempts))
 					}
-					res, serr := timedSubsolve(p.Obs, "Master", job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, nil)
+					res, serr := timedSubsolve(p.Obs, "Master", job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, nil, 1)
 					record(jobResult{res: res, err: serr})
 					continue
 				}
@@ -131,20 +165,27 @@ func Concurrent(p Params) (*Output, error) {
 	}, func(w *core.Worker) {
 		// Worker steps 1-3; death_worker (step 4) is raised by the
 		// protocol wrapper when this function returns. Each worker owns
-		// its integrator workspace — solver buffers are never shared
-		// across goroutines.
+		// its integrator workspace and its intra-grid team — solver
+		// buffers are never shared across goroutines. The deferred Close
+		// also runs when a fault injector panics the body mid-job.
 		ws := rosenbrock.NewWorkspace()
 		job := w.Read().(Job)
-		res, err := timedSubsolve(p.Obs, w.Process().Name(), job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws)
+		team := p.newTeam(job.Cores)
+		defer team.Close()
+		ws.SetTeam(team)
+		res, err := timedSubsolve(p.Obs, w.Process().Name(), job.Grid, job.Prob, job.Tol, job.TEnd, job.Lin, ws, team.Size())
 		w.Write(jobResult{res: res, err: err})
 	}, policy)
 
 	if masterErr != nil {
 		return nil, masterErr
 	}
-	// Step 5: the master's final sequential computation — the
-	// prolongation (combination) work.
-	out, err := combine(p, results)
+	// Step 5: the master's final computation — the prolongation
+	// (combination) work, on a master-owned team now that the workers are
+	// gone.
+	team := p.newTeam(p.teamSize())
+	defer team.Close()
+	out, err := combine(p, results, team)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,121 @@
+package solver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rosenbrock"
+)
+
+// lowerParMins drops the linalg parallel cut-overs to 1, so the team
+// kernels take their parallel paths even on the small grids these tests can
+// afford, and restores the defaults on cleanup.
+func lowerParMins(t *testing.T) {
+	t.Helper()
+	savedVec, savedRed, savedRows, savedLvl := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows
+	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = 1, 1, 1, 1
+	t.Cleanup(func() {
+		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+	})
+}
+
+// hashOutput digests every float of a run bit-exactly: the combined field
+// plus each per-grid solution in family order. Two runs are bit-for-bit
+// identical iff their hashes match.
+func hashOutput(t *testing.T, out *Output) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v linalg.Vector) {
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	put(out.Combined.V)
+	for _, r := range out.Results {
+		put(r.U)
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// coresUnderTest are the CoresPerWorker settings every determinism test
+// sweeps. GOMAXPROCS is appended at runtime.
+func coresUnderTest() []int {
+	cores := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		cores = append(cores, g)
+	}
+	return cores
+}
+
+// TestDeterminismAcrossCores is the PR's acceptance test: Sequential and
+// Concurrent produce SHA-256-identical output at every team size, for all
+// three linear solvers, with the parallel kernel paths forced on.
+func TestDeterminismAcrossCores(t *testing.T) {
+	lowerParMins(t)
+	for _, lin := range []rosenbrock.LinearSolver{rosenbrock.BiCGStab, rosenbrock.GMRES, rosenbrock.ILU} {
+		lin := lin
+		t.Run(lin.String(), func(t *testing.T) {
+			base := Params{Root: 2, Level: 2, Tol: 1e-3, Solver: lin, CoresPerWorker: 1}
+			ref, err := Sequential(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := hashOutput(t, ref)
+			for _, c := range coresUnderTest() {
+				p := base
+				p.CoresPerWorker = c
+				seq, err := Sequential(p)
+				if err != nil {
+					t.Fatalf("Sequential(cores=%d): %v", c, err)
+				}
+				if got := hashOutput(t, seq); got != want {
+					t.Errorf("Sequential(cores=%d) output differs from cores=1", c)
+				}
+				conc, err := Concurrent(p)
+				if err != nil {
+					t.Fatalf("Concurrent(cores=%d): %v", c, err)
+				}
+				if got := hashOutput(t, conc); got != want {
+					t.Errorf("Concurrent(cores=%d) output differs from Sequential(cores=1)", c)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismAutoAllocation checks the CoresPerWorker=0 path — the
+// workmodel-weighted split of GOMAXPROCS across workers — against the
+// serial reference.
+func TestDeterminismAutoAllocation(t *testing.T) {
+	lowerParMins(t)
+	base := Params{Root: 2, Level: 2, Tol: 1e-3, CoresPerWorker: 1}
+	ref, err := Sequential(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hashOutput(t, ref)
+	auto := base
+	auto.CoresPerWorker = 0
+	seq, err := Sequential(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashOutput(t, seq); got != want {
+		t.Error("Sequential(auto cores) output differs from cores=1")
+	}
+	conc, err := Concurrent(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashOutput(t, conc); got != want {
+		t.Error("Concurrent(auto cores) output differs from Sequential(cores=1)")
+	}
+}

@@ -21,6 +21,7 @@ package solver
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -54,6 +55,14 @@ type Params struct {
 	// Solver selects the inner linear solver of the Rosenbrock stages;
 	// the zero value is BiCGStab.
 	Solver rosenbrock.LinearSolver
+
+	// CoresPerWorker fixes the size of the intra-grid linalg.Team each
+	// subsolve runs its kernels on. 0 (the default) auto-allocates: the
+	// sequential driver uses all of GOMAXPROCS, and the concurrent driver
+	// splits GOMAXPROCS across the family's workers proportional to the
+	// workmodel grid cost, so the finest grids get the most cores. Results
+	// are bit-for-bit identical at any setting.
+	CoresPerWorker int
 
 	// Retries is the per-job retry budget of the concurrent driver: a job
 	// whose worker fails (panic, deadline, corrupt result) is resubmitted
@@ -105,7 +114,32 @@ func (p Params) Validate() error {
 	if p.Tol <= 0 {
 		return fmt.Errorf("solver: tolerance %g must be positive", p.Tol)
 	}
+	if p.CoresPerWorker < 0 {
+		return fmt.Errorf("solver: cores per worker %d < 0", p.CoresPerWorker)
+	}
 	return nil
+}
+
+// teamSize resolves the intra-grid core budget of a single actor: an
+// explicit CoresPerWorker wins, otherwise all of GOMAXPROCS.
+func (p Params) teamSize() int {
+	if p.CoresPerWorker > 0 {
+		return p.CoresPerWorker
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// imbalanceHistName is the metric fed with per-dispatch team load imbalance.
+const imbalanceHistName = "linalg.team.imbalance.us"
+
+// newTeam creates a linalg.Team of the given size, wired to the run's
+// imbalance histogram when observability is on. Callers own Close.
+func (p Params) newTeam(size int) *linalg.Team {
+	team := linalg.NewTeam(size)
+	if p.Obs != nil {
+		team.SetObserver(p.Obs.Histogram(imbalanceHistName))
+	}
+	return team
 }
 
 // EvalGrid returns the uniform grid the combination is evaluated on.
@@ -157,14 +191,16 @@ func SubsolveInto(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock
 
 // timedSubsolve is SubsolveInto instrumented for observability: it brackets
 // the call with subsolve_begin/subsolve_end events and feeds the per-grid
-// duration histogram "solver.subsolve.<grid>.us". With rec == nil it is
-// exactly SubsolveInto — no timestamps, no allocation.
-func timedSubsolve(rec *obs.Recorder, actor string, g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace) (Result, error) {
+// duration histogram "solver.subsolve.<grid>.us" plus the core-budget
+// histogram "solver.subsolve.<grid>.cores". With rec == nil it is exactly
+// SubsolveInto — no timestamps, no allocation.
+func timedSubsolve(rec *obs.Recorder, actor string, g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace, cores int) (Result, error) {
 	if rec == nil {
 		return SubsolveInto(g, p, tol, tEnd, lin, ws)
 	}
 	gname := g.String()
 	rec.Emit(obs.KSubsolveBegin, actor, gname, int64(g.L1), int64(g.L2))
+	rec.Histogram("solver.subsolve." + gname + ".cores").Observe(int64(cores))
 	t0 := time.Now()
 	res, err := SubsolveInto(g, p, tol, tEnd, lin, ws)
 	rec.Histogram("solver.subsolve." + gname + ".us").ObserveSince(t0)
@@ -204,10 +240,12 @@ type Output struct {
 }
 
 // combine prolongates the per-grid solutions and applies the combination
-// formula. Results must be in Family order so that summation order — and
+// formula, optionally routing the prolongation and accumulation kernels
+// through tm. Results must be in Family order so that summation order — and
 // therefore floating-point rounding — is identical between the sequential
-// and concurrent versions.
-func combine(p Params, results []Result) (*Output, error) {
+// and concurrent versions (and, by CombineWith's construction, at any team
+// size).
+func combine(p Params, results []Result, tm *linalg.Team) (*Output, error) {
 	p = p.withDefaults()
 	fam := grid.Family(p.Root, p.Level)
 	if len(results) != len(fam) {
@@ -223,7 +261,7 @@ func combine(p Params, results []Result) (*Output, error) {
 		fields = append(fields, d.FieldFromInterior(r.U, p.TEnd))
 		out.TotalFlops += r.Stats.Ops.Flops
 	}
-	out.Combined = grid.Combine(fields, p.Level, p.EvalGrid())
+	out.Combined = grid.CombineWith(tm, fields, p.Level, p.EvalGrid())
 	out.Results = results
 	return out, nil
 }
@@ -237,15 +275,20 @@ func Sequential(p Params) (*Output, error) {
 		return nil, err
 	}
 	// One workspace serves the whole family: grid i+1 reuses (and grows)
-	// the solver buffers grid i allocated.
+	// the solver buffers grid i allocated. One team serves every subsolve
+	// and the final combination.
+	cores := p.teamSize()
+	team := p.newTeam(cores)
+	defer team.Close()
 	ws := rosenbrock.NewWorkspace()
+	ws.SetTeam(team)
 	var results []Result
 	for _, g := range grid.Family(p.Root, p.Level) {
-		r, err := timedSubsolve(p.Obs, "Sequential", g, p.Problem, p.Tol, p.TEnd, p.Solver, ws)
+		r, err := timedSubsolve(p.Obs, "Sequential", g, p.Problem, p.Tol, p.TEnd, p.Solver, ws, cores)
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, r)
 	}
-	return combine(p, results)
+	return combine(p, results, team)
 }

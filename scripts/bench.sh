@@ -7,18 +7,68 @@
 #   scripts/bench.sh                 # full run
 #   scripts/bench.sh -benchtime 1x   # smoke run (CI)
 #   scripts/bench.sh -count 5        # for benchstat comparisons
+#   scripts/bench.sh --json BENCH_4.json   # also write machine-readable results
 #
-# Extra arguments are passed through to `go test`.
+# --json FILE parses every benchmark line of the run into one JSON document
+# (name, ns/op, allocs/op, plus host metadata) — the canonical format
+# later PRs append their BENCH_<n>.json files in. All other arguments are
+# passed through to `go test`.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "## linalg kernels (assembly vs in-place update, SpMV)"
-go test -run XXX \
-    -bench 'BenchmarkShifted|BenchmarkMulVec|BenchmarkBuilderBuild' \
-    -benchmem "$@" ./internal/linalg/
+json=""
+if [ "${1:-}" = "--json" ]; then
+    json="${2:?usage: bench.sh --json FILE [go test args]}"
+    shift 2
+fi
 
+run_benches() {
+    echo "## linalg kernels (assembly vs in-place update, SpMV)"
+    go test -run XXX \
+        -bench 'BenchmarkShifted|BenchmarkMulVec|BenchmarkBuilderBuild' \
+        -benchmem "$@" ./internal/linalg/
+
+    echo
+    echo "## rosenbrock steady-state stepping (must be 0 allocs/op)"
+    go test -run XXX \
+        -bench 'BenchmarkSubsolveSteady|BenchmarkIntegrateWorkspaceReuse' \
+        -benchmem "$@" ./internal/rosenbrock/
+}
+
+if [ -z "$json" ]; then
+    run_benches "$@"
+    exit 0
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+run_benches "$@" | tee "$out"
+
+# Benchmark lines look like:
+#   BenchmarkX/sub-4  100  12345 ns/op  67 extra/unit  0 B/op  0 allocs/op
+awk '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (allocs == "") allocs = 0
+    rows[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+}
+END {
+    printf "{\n"
+    printf "  \"pr\": 4,\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"host_cpus\": %d,\n", hostcpus
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' goversion="$(go env GOVERSION)" hostcpus="$(nproc 2>/dev/null || echo 1)" "$out" > "$json"
 echo
-echo "## rosenbrock steady-state stepping (must be 0 allocs/op)"
-go test -run XXX \
-    -bench 'BenchmarkSubsolveSteady|BenchmarkIntegrateWorkspaceReuse' \
-    -benchmem "$@" ./internal/rosenbrock/
+echo "wrote $json"
