@@ -1,0 +1,33 @@
+// Command vetsparse is the repo's custom static-analysis gate: four
+// go/analysis-style passes that machine-check the invariants PRs 1–4
+// established — deterministic numerics (determinism), zero-allocation hot
+// loops (allocfree), exact master/worker protocol accounting (protocol),
+// and a single observability name taxonomy (obsnames). See LINTS.md for
+// each pass's invariant, diagnostics, and suppression conventions.
+//
+// Run standalone:
+//
+//	go run ./cmd/vetsparse ./...
+//
+// or as a vet tool, which shares go vet's caching and package loading:
+//
+//	go build -o /tmp/vetsparse ./cmd/vetsparse
+//	go vet -vettool=/tmp/vetsparse ./...
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/allocfree"
+	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/obsnames"
+	"repro/internal/analysis/passes/protocol"
+)
+
+func main() {
+	analysis.Main("vetsparse",
+		determinism.Analyzer,
+		allocfree.Analyzer,
+		protocol.Analyzer,
+		obsnames.Analyzer,
+	)
+}

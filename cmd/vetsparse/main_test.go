@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/allocfree"
+	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/obsnames"
+	"repro/internal/analysis/passes/protocol"
+)
+
+// TestSelfClean runs the full vetsparse suite over the repository itself —
+// the same invariant CI enforces with `go run ./cmd/vetsparse ./...`.
+// Every existing hot path, protocol site, and observability name must
+// satisfy the analyzers (with any justified //vetsparse:ignore suppressions
+// in place).
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	var out bytes.Buffer
+	count, err := analysis.Run(&out, []string{"repro/..."}, []*analysis.Analyzer{
+		determinism.Analyzer,
+		allocfree.Analyzer,
+		protocol.Analyzer,
+		obsnames.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("vetsparse over repro/...: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("vetsparse reported %d finding(s) on the repo:\n%s", count, out.String())
+	}
+}

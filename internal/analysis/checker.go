@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// result collects one package's surviving diagnostics for one analyzer.
+type result struct {
+	analyzer string
+	diags    []Diagnostic
+}
+
+// runPackage executes every analyzer over one loaded package against the
+// shared fact store, applies the //vetsparse:ignore filter, and returns
+// the surviving diagnostics. The malformed-directive diagnostics from the
+// ignore scan itself are attributed to the pseudo-pass "directive".
+func runPackage(pkg *Package, analyzers []*Analyzer, fset *token.FileSet, facts *FactSet) ([]result, error) {
+	var results []result
+
+	var directiveDiags []Diagnostic
+	ignores := NewIgnores(fset, pkg.Files, func(d Diagnostic) {
+		directiveDiags = append(directiveDiags, d)
+	})
+	if len(directiveDiags) > 0 {
+		results = append(results, result{analyzer: "directive", diags: directiveDiags})
+	}
+
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		imp, exp := facts.bind(a)
+		pass := &Pass{
+			Analyzer:         a,
+			Fset:             fset,
+			Files:            pkg.Files,
+			Pkg:              pkg.Types,
+			TypesInfo:        pkg.Info,
+			Ignores:          ignores,
+			Report:           func(d Diagnostic) { diags = append(diags, d) },
+			ImportObjectFact: imp,
+			ExportObjectFact: exp,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if !ignores.Match(a.Name, d.Pos) {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) > 0 {
+			results = append(results, result{analyzer: a.Name, diags: kept})
+		}
+	}
+	return results, nil
+}
+
+// RunPackage runs one analyzer over one loaded package against facts,
+// applying the //vetsparse:ignore filter; used by the analysistest fixture
+// runner, which checks one analyzer at a time.
+func RunPackage(pkg *Package, a *Analyzer, fset *token.FileSet, facts *FactSet) ([]Diagnostic, error) {
+	results, err := runPackage(pkg, []*Analyzer{a}, fset, facts)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, r := range results {
+		if r.analyzer == a.Name {
+			diags = append(diags, r.diags...)
+		}
+	}
+	return diags, nil
+}
+
+// printDiagnostics writes results in the plain `go vet` style
+// (file:line:col: message (pass)) sorted by position, returning how many
+// were printed.
+func printDiagnostics(w io.Writer, fset *token.FileSet, results []result) int {
+	type flat struct {
+		pos  token.Position
+		msg  string
+		pass string
+	}
+	var all []flat
+	for _, r := range results {
+		for _, d := range r.diags {
+			all = append(all, flat{pos: fset.Position(d.Pos), msg: d.Message, pass: r.analyzer})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos.Filename != all[j].pos.Filename {
+			return all[i].pos.Filename < all[j].pos.Filename
+		}
+		if all[i].pos.Line != all[j].pos.Line {
+			return all[i].pos.Line < all[j].pos.Line
+		}
+		return all[i].pos.Column < all[j].pos.Column
+	})
+	for _, d := range all {
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.pass)
+	}
+	return len(all)
+}
+
+// Run loads the packages matched by patterns (plus module dependencies),
+// runs the analyzers over each in dependency order sharing one fact store,
+// and prints diagnostics to w. It returns the diagnostic count.
+func Run(w io.Writer, patterns []string, analyzers []*Analyzer) (int, error) {
+	if err := Validate(analyzers); err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, patterns)
+	if err != nil {
+		return 0, err
+	}
+	facts := NewFactSet()
+	count := 0
+	for _, pkg := range pkgs {
+		results, err := runPackage(pkg, analyzers, fset, facts)
+		if err != nil {
+			return count, err
+		}
+		count += printDiagnostics(w, fset, results)
+	}
+	return count, nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The vetsparse comment directives:
+//
+//	//vetsparse:allocfree
+//	    on a function declaration (doc comment or same line) asserts the
+//	    function body contains no allocation-causing constructs; the
+//	    allocfree pass verifies the assertion.
+//
+//	//vetsparse:ignore <pass> <reason>
+//	    on a line (or the line directly above it) suppresses the named
+//	    pass there: diagnostics anchored to that line are dropped by the
+//	    driver, and fact-deriving passes skip the line when computing
+//	    facts. The reason is mandatory — an unexplained suppression is
+//	    itself reported.
+const (
+	allocFreeDirective = "vetsparse:allocfree"
+	ignoreDirective    = "vetsparse:ignore"
+)
+
+// Ignores indexes the //vetsparse:ignore directives of one package.
+type Ignores struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> pass names suppressed on that line.
+	byLine map[string]map[int][]string
+}
+
+// NewIgnores scans the comments of files for ignore directives. A
+// malformed directive (missing pass name or reason) is reported through
+// report so it cannot silently suppress nothing.
+func NewIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) *Ignores {
+	ig := &Ignores{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					if report != nil {
+						report(Diagnostic{Pos: c.Pos(), Message: "malformed //vetsparse:ignore directive: want \"//vetsparse:ignore <pass> <reason>\""})
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ig.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return ig
+}
+
+// Match reports whether pass is suppressed at pos: a directive on the same
+// line or on the line directly above (a directive-only comment line).
+func (ig *Ignores) Match(pass string, pos token.Pos) bool {
+	if ig == nil || !pos.IsValid() {
+		return false
+	}
+	p := ig.fset.Position(pos)
+	lines := ig.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, name := range lines[line] {
+			if name == pass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AllocFree reports whether fn is marked //vetsparse:allocfree, either in
+// its doc comment or in a comment on the declaration line. cm must be the
+// file's comment map (see AllocFreeFuncs for the usual entry point).
+func declHasAllocFree(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+allocFreeDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocFreeFuncs returns the function declarations of the package marked
+// with //vetsparse:allocfree.
+func AllocFreeFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && declHasAllocFree(fn) {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f() {
+	//vetsparse:ignore determinism justified metrics-only read
+	g()
+	h() //vetsparse:ignore allocfree same-line suppression works too
+	//vetsparse:ignore determinism
+	i()
+}
+
+func g() {}
+func h() {}
+func i() {}
+`
+
+// TestIgnores checks directive matching (line above, same line, pass name)
+// and that a reason-less directive is reported as malformed instead of
+// silently registering.
+func TestIgnores(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed []Diagnostic
+	ig := NewIgnores(fset, []*ast.File{f}, func(d Diagnostic) { malformed = append(malformed, d) })
+
+	calls := make(map[string]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls[id.Name] = call.Pos()
+			}
+		}
+		return true
+	})
+
+	cases := []struct {
+		pass string
+		call string
+		want bool
+	}{
+		{"determinism", "g", true},  // directive on the line above
+		{"allocfree", "g", false},   // different pass
+		{"allocfree", "h", true},    // same-line directive
+		{"determinism", "h", false}, // different pass
+		{"determinism", "i", false}, // reason-less directive must not register
+	}
+	for _, c := range cases {
+		if got := ig.Match(c.pass, calls[c.call]); got != c.want {
+			t.Errorf("Match(%q, %s()) = %v, want %v", c.pass, c.call, got, c.want)
+		}
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives reported = %d, want 1", len(malformed))
+	}
+	if pos := fset.Position(malformed[0].Pos); pos.Line != 7 {
+		t.Errorf("malformed directive reported at line %d, want 7", pos.Line)
+	}
+}

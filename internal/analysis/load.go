@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// Files are the parsed compiled Go files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type-checker output for Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -deps -json` and type-checks
+// every non-standard package from source, dependencies first, so analyzer
+// facts can flow bottom-up exactly as they do under `go vet`. Standard
+// library imports resolve through the compiler's export data.
+func Load(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v", strings.Join(patterns, " "), err)
+	}
+
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	byPath := make(map[string]*types.Package)
+	imp := newModuleImporter(fset, byPath)
+	var pkgs []*Package
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Standard || lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package: nothing to analyze
+		}
+		pkg, err := typeCheckDir(fset, lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		byPath[lp.ImportPath] = pkg.Types
+		// Dependencies are analyzed too (facts flow bottom-up) and their
+		// diagnostics are reported: a violated invariant in a dependency
+		// is a finding wherever the driver was pointed.
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheckDir parses and type-checks one package from source.
+func typeCheckDir(fset *token.FileSet, path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: package %s has no Go files", path)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{PkgPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewTypesInfo returns a types.Info with every result map allocated, as
+// the passes expect.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already type-checked this run (go list -deps guarantees dependency
+// order) and everything else through the gc export-data importer, falling
+// back to type-checking the standard library from source if export data is
+// unavailable.
+type moduleImporter struct {
+	byPath map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet, byPath map[string]*types.Package) *moduleImporter {
+	return &moduleImporter{
+		byPath: byPath,
+		gc:     importer.ForCompiler(fset, "gc", nil),
+		source: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	p, err := m.gc.Import(path)
+	if err == nil {
+		return p, nil
+	}
+	return m.source.Import(path)
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/allocfree"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "allocfixture")
+}

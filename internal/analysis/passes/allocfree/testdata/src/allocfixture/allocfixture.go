@@ -1,0 +1,134 @@
+// Package allocfixture exercises the //vetsparse:allocfree checks: each
+// allocation-causing construct is rejected inside an annotated function,
+// while the panic-argument and error-return cold paths, constant folding,
+// pointer-shaped interface values and unannotated functions stay silent.
+package allocfixture
+
+import "fmt"
+
+type vec []float64
+
+// axpy is the shape of a real hot kernel: annotated and clean.
+//
+//vetsparse:allocfree
+func axpy(y, x vec, a float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// guarded panics on misuse; the panic argument is a cold path.
+//
+//vetsparse:allocfree
+func guarded(y, x vec) {
+	if len(y) != len(x) {
+		panic(fmt.Sprintf("allocfixture: length mismatch %d != %d", len(y), len(x)))
+	}
+	copy(y, x)
+}
+
+// fallible allocates only while building its error result: a cold path.
+//
+//vetsparse:allocfree
+func fallible(n int) error {
+	if n < 0 {
+		return fmt.Errorf("allocfixture: negative n %d", n)
+	}
+	return nil
+}
+
+// unannotated may allocate freely; the pass only checks annotations.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+//vetsparse:allocfree
+func badAppend(xs []int, v int) []int {
+	xs = append(xs, v) // want `append may grow the backing array`
+	return xs
+}
+
+//vetsparse:allocfree
+func badMake(n int) []int {
+	buf := make([]int, n) // want `make allocates`
+	return buf
+}
+
+//vetsparse:allocfree
+func badNew() *vec {
+	p := new(vec) // want `new allocates`
+	return p
+}
+
+//vetsparse:allocfree
+func badClosure(n int) func() int {
+	f := func() int { return n } // want `function literal allocates a closure`
+	return f
+}
+
+//vetsparse:allocfree
+func badFmt(x float64) {
+	fmt.Println(x) // want `fmt\.Println allocates`
+}
+
+//vetsparse:allocfree
+func badConcat(a, b string) string {
+	s := a + b // want `non-constant string concatenation allocates`
+	return s
+}
+
+const prefix = "solver."
+
+// constConcat's concatenation folds at compile time: no allocation.
+//
+//vetsparse:allocfree
+func constConcat() string {
+	return prefix + "subsolve"
+}
+
+type sample struct{ a, b float64 }
+
+//vetsparse:allocfree
+func badMapLit() map[string]int {
+	m := map[string]int{} // want `map literal allocates`
+	return m
+}
+
+//vetsparse:allocfree
+func badSliceLit() vec {
+	v := vec{1, 2} // want `slice literal allocates`
+	return v
+}
+
+//vetsparse:allocfree
+func badAddrLit() *sample {
+	s := &sample{a: 1} // want `&composite literal escapes to the heap`
+	return s
+}
+
+func sink(v any) {}
+
+//vetsparse:allocfree
+func badBoxArg(x int) {
+	sink(x) // want `passing int as interface`
+}
+
+// goodPtrArg passes a pointer, which fits the interface word directly.
+//
+//vetsparse:allocfree
+func goodPtrArg(p *sample) {
+	sink(p)
+}
+
+//vetsparse:allocfree
+func badBoxAssign(x float64) {
+	var v any
+	v = x // want `assigning float64 to interface`
+	_ = v
+}
+
+//vetsparse:allocfree
+func badConvert(x int) any {
+	v := any(x) // want `conversion to interface boxes int`
+	return v
+}

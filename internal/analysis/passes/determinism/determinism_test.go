@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// "solver" imports the fixture package "clockdep", which is analyzed
+	// first so its nondeterminism facts cross the package boundary.
+	analysistest.Run(t, "testdata", determinism.Analyzer, "solver", "linalg")
+}

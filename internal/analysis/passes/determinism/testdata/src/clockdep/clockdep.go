@@ -1,0 +1,13 @@
+// Package clockdep is a fixture dependency outside the determinism
+// diagnostic scope: it emits no findings of its own but exports the
+// nondeterminism facts the solver fixture imports across the package
+// boundary.
+package clockdep
+
+import "time"
+
+// StampUs reads the wall clock.
+func StampUs() int64 { return time.Now().UnixMicro() }
+
+// Pure is deterministic.
+func Pure(x float64) float64 { return 2 * x }

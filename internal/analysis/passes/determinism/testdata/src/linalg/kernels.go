@@ -1,0 +1,46 @@
+// Package linalg fixtures exercise the worker-range accumulator rule: a
+// kernel (trailing lo, hi int parameters) must not fold its whole range
+// into one function-level float.
+package linalg
+
+// badDot folds the whole [lo, hi) range into one function-level
+// accumulator, so the partial depends on how the team splits the range.
+func badDot(a, b []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += a[i] * b[i] // want `float accumulation across the whole \[lo, hi\) worker range`
+	}
+	return s
+}
+
+// badNorm uses the s = s + x spelling; still a whole-range fold.
+func badNorm(v []float64, lo, hi int) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum = sum + v[i]*v[i] // want `float accumulation across the whole \[lo, hi\) worker range`
+	}
+	return sum
+}
+
+// goodDot follows the redChunk discipline: fixed 1024-element chunks with
+// chunk-local partials written to a per-chunk slot.
+func goodDot(partial, a, b []float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		lo, hi := c*1024, (c+1)*1024
+		if hi > len(a) {
+			hi = len(a)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += a[i] * b[i]
+		}
+		partial[c] = p
+	}
+}
+
+// axpyRange is elementwise over the range: no reduction, nothing to flag.
+func axpyRange(y, x []float64, a float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += a * x[i]
+	}
+}

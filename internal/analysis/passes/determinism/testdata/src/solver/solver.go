@@ -1,0 +1,87 @@
+// Package solver fixtures exercise the SubsolveInto reachability rule
+// (direct, package-local, cross-package and suppressed sources) and the
+// map-range rule.
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"clockdep"
+)
+
+type stateA struct{ u []float64 }
+
+// SubsolveInto reads the clock directly.
+func (s *stateA) SubsolveInto() { // want `nondeterminism source reachable from SubsolveInto via time\.Now`
+	_ = time.Now()
+}
+
+type stateB struct{ u []float64 }
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+// SubsolveInto reaches the clock through a package-local helper.
+func (s *stateB) SubsolveInto() { // want `reachable from SubsolveInto via solver\.stamp -> time\.Now`
+	_ = stamp()
+}
+
+type stateC struct{ u []float64 }
+
+// SubsolveInto reaches the clock through an imported package; the fact
+// crossed the package boundary.
+func (s *stateC) SubsolveInto() { // want `reachable from SubsolveInto via clockdep\.StampUs -> time\.Now`
+	_ = clockdep.StampUs()
+}
+
+type stateD struct{ u []float64 }
+
+// SubsolveInto draws from the unseeded global math/rand source.
+func (s *stateD) SubsolveInto() { // want `reachable from SubsolveInto via math/rand\.Float64 \(global source\)`
+	_ = rand.Float64()
+}
+
+type stateE struct{ u []float64 }
+
+// SubsolveInto is deterministic: seeded local source, pure callee.
+func (s *stateE) SubsolveInto() {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Float64()
+	_ = clockdep.Pure(1.0)
+}
+
+type stateF struct{ u []float64 }
+
+// SubsolveInto's clock read is suppressed as metrics-only, which keeps it
+// out of the facts too: no diagnostic here.
+func (s *stateF) SubsolveInto() {
+	//vetsparse:ignore determinism fixture for a justified metrics-only read
+	_ = time.Now()
+}
+
+// mapAccumulate folds map values in iteration order: the float result
+// depends on Go's randomized map order.
+func mapAccumulate(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `range over map feeds float arithmetic`
+		s += v
+	}
+	return s
+}
+
+// mapKeysOnly counts entries: no float work, order-insensitive.
+func mapKeysOnly(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// mapPrint emits output in map iteration order.
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want `range over map feeds output \(fmt\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,161 @@
+// Package obsnames implements the vetsparse pass keeping observability
+// names honest: every metric name handed to Recorder.Counter / Gauge /
+// Histogram and every event name raised or observed on a manifold Process
+// must come from the taxonomy in internal/obs/names.go — the same source
+// OBSERVABILITY.md's tables are generated from. A typo'd name would
+// silently split a histogram or make a coordinator wait on an event
+// nobody raises; here it fails the build instead.
+//
+// Checked: string arguments resolvable as constants (literals and
+// consts), and concatenations with constant prefix and suffix around a
+// dynamic middle, which must match a `<grid>` taxonomy entry. Wholly
+// dynamic names are outside the pass's reach and pass silently. Test
+// files are exempt — tests mint throwaway names on purpose.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/obs"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "metric and event name literals must match the internal/obs taxonomy",
+	Run:  run,
+}
+
+// metricMethods are the Recorder methods taking a metric name.
+var metricMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// eventMethods are the Process methods taking protocol event names.
+var eventMethods = map[string]bool{"Raise": true, "Observe": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	protocolEvents := make(map[string]bool, len(obs.ProtocolEvents))
+	for _, e := range obs.ProtocolEvents {
+		protocolEvents[e] = true
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case metricMethods[sel.Sel.Name] && receiverNamed(pass.TypesInfo, sel, "Recorder") && len(call.Args) == 1:
+				checkMetricArg(pass, call.Args[0])
+			case eventMethods[sel.Sel.Name] && receiverNamed(pass.TypesInfo, sel, "Process"):
+				for _, arg := range call.Args {
+					if name, ok := constString(pass.TypesInfo, arg); ok && !protocolEvents[name] {
+						pass.Reportf(arg.Pos(), "event name %q is not in the protocol taxonomy (internal/obs/names.go ProtocolEvents); a typo here deadlocks the rendezvous", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// receiverNamed reports whether the selector's receiver is (a pointer to)
+// a named type with the given name — by name, not import path, so
+// analysistest fixtures can stub the obs and manifold types.
+func receiverNamed(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// checkMetricArg validates one metric-name argument: an exact constant
+// must be a known metric; a concatenation with constant edges must match
+// a `<grid>` family.
+func checkMetricArg(pass *analysis.Pass, arg ast.Expr) {
+	if name, ok := constString(pass.TypesInfo, arg); ok {
+		if !obs.KnownMetric(name) {
+			pass.Reportf(arg.Pos(), "metric name %q is not in the taxonomy (internal/obs/names.go MetricDocs); a typo silently splits the metric", name)
+		}
+		return
+	}
+	prefix, suffix, ok := concatEdges(pass.TypesInfo, arg)
+	if !ok {
+		return // wholly dynamic: out of reach
+	}
+	if !obs.KnownMetricParts(prefix, suffix) {
+		pass.Reportf(arg.Pos(), "dynamic metric name %q+…+%q matches no <grid> family in the taxonomy (internal/obs/names.go MetricDocs)", prefix, suffix)
+	}
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// concatEdges flattens a + concatenation and returns its constant leading
+// and trailing parts when at least one middle operand is dynamic.
+func concatEdges(info *types.Info, e ast.Expr) (prefix, suffix string, ok bool) {
+	var operands []ast.Expr
+	var flatten func(ast.Expr)
+	flatten = func(x ast.Expr) {
+		if bin, isBin := ast.Unparen(x).(*ast.BinaryExpr); isBin && bin.Op == token.ADD {
+			flatten(bin.X)
+			flatten(bin.Y)
+			return
+		}
+		operands = append(operands, x)
+	}
+	flatten(e)
+	if len(operands) < 2 {
+		return "", "", false
+	}
+	i := 0
+	for ; i < len(operands); i++ {
+		s, isConst := constString(info, operands[i])
+		if !isConst {
+			break
+		}
+		prefix += s
+	}
+	j := len(operands)
+	for ; j > i; j-- {
+		s, isConst := constString(info, operands[j-1])
+		if !isConst {
+			break
+		}
+		suffix = s + suffix
+	}
+	if i == len(operands) || (prefix == "" && suffix == "") {
+		return "", "", false
+	}
+	return prefix, suffix, true
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnames.Analyzer, "obsfix")
+}

@@ -1,0 +1,12 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/protocol"
+)
+
+func TestProtocol(t *testing.T) {
+	analysistest.Run(t, "testdata", protocol.Analyzer, "core")
+}

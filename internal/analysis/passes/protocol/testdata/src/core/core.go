@@ -1,0 +1,110 @@
+// Package core fixtures stub the manifold surfaces by shape — deadline
+// reads returning (T, error) / (T, bool), a markDead method, envelope-named
+// channel element types — and exercise the three protocol rules.
+package core
+
+import "time"
+
+type Unit struct{ ID int }
+
+type Port struct{}
+
+// ReadWithin mimics the manifold deadline read: (value, error).
+func (p *Port) ReadWithin(d time.Duration) (Unit, error) { return Unit{}, nil }
+
+type Occurrence struct{ Name string }
+
+type Process struct{}
+
+// WaitWithin mimics the manifold deadline wait: (value, ok).
+func (p *Process) WaitWithin(d time.Duration, names ...string) (Occurrence, bool) {
+	return Occurrence{}, false
+}
+
+// Raise mimics the manifold event raise.
+func (p *Process) Raise(event string) {}
+
+func sinkUnit(u Unit) {}
+
+func deadlineReads(port *Port, proc *Process) {
+	port.ReadWithin(time.Second) // want `result of ReadWithin dropped`
+
+	u, _ := port.ReadWithin(time.Second) // want `error of ReadWithin assigned to _`
+	sinkUnit(u)
+
+	v, err := port.ReadWithin(time.Second)
+	if err == nil {
+		sinkUnit(v)
+	}
+
+	occ, _ := proc.WaitWithin(time.Second, "finished") // want `ok of WaitWithin assigned to _`
+	_ = occ
+
+	if o, ok := proc.WaitWithin(time.Second, "finished"); ok {
+		_ = o
+	}
+}
+
+type pool struct {
+	dead map[*Process]bool
+}
+
+// markDead records w's death, reporting whether this call retired it.
+func (p *pool) markDead(w *Process) bool {
+	if p.dead[w] {
+		return false
+	}
+	p.dead[w] = true
+	return true
+}
+
+func removeCorrect(p *pool, w *Process) {
+	if p.markDead(w) {
+		w.Raise("death_worker")
+	}
+}
+
+func removeNoRaise(p *pool, w *Process) {
+	if p.markDead(w) { // want `removes a worker without raising death_worker`
+		delete(p.dead, w)
+	}
+}
+
+func removeDoubleRaise(p *pool, w *Process) {
+	if p.markDead(w) { // want `raises death_worker 2 times`
+		w.Raise("death_worker")
+		w.Raise("death_worker")
+	}
+}
+
+func removeUnguarded(p *pool, w *Process) {
+	p.markDead(w) // want `markDead must be the condition of an if`
+	w.Raise("death_worker")
+}
+
+type jobEnvelope struct{ seq int }
+
+type resultEnvelope struct{ seq int }
+
+func dispatch(env jobEnvelope) {}
+
+func pump(jobs chan jobEnvelope, results chan resultEnvelope, done chan struct{}, p *Process) {
+	for {
+		select {
+		case env := <-jobs:
+			dispatch(env)
+		case <-results: // want `select branch drops a resultEnvelope`
+		case <-done:
+			return
+		}
+	}
+}
+
+func drain(jobs chan jobEnvelope, p *Process) {
+	select {
+	case <-jobs:
+		// Dropping on shutdown is fine once an event records it.
+		p.Raise("a_rendezvous")
+	default:
+	}
+}

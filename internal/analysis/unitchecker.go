@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file `go vet` hands a -vettool
+// for each package unit (the unitchecker protocol). Field names must match
+// cmd/go's serialization exactly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path -> fact file of dependency
+	VetxOnly                  bool              // only facts are needed, not diagnostics
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersionAndExit implements -V=full: `go vet` fingerprints the tool by
+// this line (content hash of the executable) to decide cache validity.
+func printVersionAndExit(progname string) {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+}
+
+// printFlagsAndExit implements -flags: `go vet` asks the tool which flags
+// it supports before forwarding any. We expose the per-analyzer enable
+// flags so `go vet -vettool=vetsparse -determinism` works.
+func printFlagsAndExit(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable only the " + a.Name + " analysis"})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	os.Exit(0)
+}
+
+// runUnit processes one .cfg file per the unitchecker protocol: parse and
+// type-check the unit using the export data `go vet` prepared, import the
+// dependencies' facts, run the analyzers, write this unit's facts, and
+// report diagnostics to stderr. Returns the diagnostic count.
+func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := NewTypesInfo()
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	facts := NewFactSet()
+	for _, vetx := range cfg.PackageVetx {
+		if err := facts.MergeFile(vetx); err != nil {
+			return 0, err
+		}
+	}
+
+	pkg := &Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	results, err := runPackage(pkg, analyzers, fset, facts)
+	if err != nil {
+		return 0, err
+	}
+
+	if cfg.VetxOutput != "" {
+		out, err := facts.Encode()
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	return printDiagnostics(os.Stderr, fset, results), nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Main is the multichecker entry point shared by cmd/vetsparse. It handles
+// the `go vet -vettool` handshake (-V=full, -flags, a *.cfg argument) and,
+// given package patterns instead, runs the standalone loader-based driver.
+// Exits nonzero iff diagnostics were reported.
+func Main(progname string, analyzers ...*Analyzer) {
+	if err := Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	args := os.Args[1:]
+	enabled := analyzers
+	var rest []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersionAndExit(progname)
+		case arg == "-flags" || arg == "--flags":
+			printFlagsAndExit(analyzers)
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage(progname, analyzers)
+			os.Exit(0)
+		case strings.HasPrefix(arg, "-"):
+			name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			var found *Analyzer
+			for _, a := range analyzers {
+				if a.Name == name {
+					found = a
+					break
+				}
+			}
+			if found == nil {
+				fmt.Fprintf(os.Stderr, "%s: unknown flag %s\n", progname, arg)
+				usage(progname, analyzers)
+				os.Exit(2)
+			}
+			if hasVal && (val == "false" || val == "0") {
+				continue // -pass=false: ignore (default set already minimal)
+			}
+			if len(enabled) == len(analyzers) {
+				enabled = nil // first -name flag switches to explicit selection
+			}
+			enabled = append(enabled, found)
+		default:
+			rest = append(rest, arg)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		n, err := runUnit(rest[0], enabled)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(rest) == 0 {
+		usage(progname, analyzers)
+		os.Exit(2)
+	}
+	n, err := Run(os.Stdout, rest, enabled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage(progname string, analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s checks the repo's coordination invariants statically.\n\n", progname)
+	fmt.Fprintf(os.Stderr, "Usage:\n  %s [-pass ...] package...     # standalone\n  go vet -vettool=$(which %s) ./...  # as a vet tool\n\nRegistered analyzers:\n", progname, progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+}

@@ -111,6 +111,8 @@ func maxInt(a, b int) int {
 func (m *CSR) NNZ() int { return len(m.Val) }
 
 // MulVec computes y = A*x.
+//
+//vetsparse:allocfree
 func (m *CSR) MulVec(y, x Vector, ops *Ops) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("linalg: mulvec dims %dx%d with x[%d], y[%d]", m.Rows, m.Cols, len(x), len(y)))
@@ -122,6 +124,8 @@ func (m *CSR) MulVec(y, x Vector, ops *Ops) {
 // mulVecRange computes y[r] = (A*x)[r] for rows r in [r0, r1). Each output
 // row is an independent serial dot product, so any row partitioning yields
 // exactly MulVec's values.
+//
+//vetsparse:allocfree
 func (m *CSR) mulVecRange(y, x Vector, r0, r1 int) {
 	for r := r0; r < r1; r++ {
 		s := 0.0
@@ -133,6 +137,8 @@ func (m *CSR) mulVecRange(y, x Vector, r0, r1 int) {
 }
 
 // Diagonal extracts the main diagonal into d (missing entries are zero).
+//
+//vetsparse:allocfree
 func (m *CSR) Diagonal(d Vector) {
 	for r := 0; r < m.Rows; r++ {
 		d[r] = 0

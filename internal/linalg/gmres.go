@@ -20,6 +20,8 @@ func GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (So
 // GMRES is the workspace-pooled variant of the package-level GMRES: the
 // Krylov basis, Hessenberg and rotation buffers come from ws and are
 // reused across calls, so steady-state calls allocate nothing.
+//
+//vetsparse:allocfree
 func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter int, ops *Ops) (SolveStats, error) {
 	n := a.Rows
 	if a.Cols != n || len(x) != n || len(b) != n {

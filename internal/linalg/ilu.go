@@ -151,6 +151,8 @@ func bucketByLevel(lev []int, nlev int) (ptr, rows []int) {
 // Rosenbrock stage matrix I - gamma*tau*J: its pattern is fixed, only the
 // values move when tau changes). It allocates nothing. On a zero pivot the
 // factor values are left invalid and must not be used for Solve.
+//
+//vetsparse:allocfree
 func (f *ILU0) Refactor(a *CSR, ops *Ops) error {
 	if a.Rows != f.n || a.Cols != f.n || len(a.Val) != len(f.val) {
 		return errors.New("linalg: ILU0 refactor pattern mismatch")
@@ -161,6 +163,8 @@ func (f *ILU0) Refactor(a *CSR, ops *Ops) error {
 
 // factorize runs the IKJ elimination restricted to the existing pattern,
 // overwriting f.val (which must hold the matrix values on entry).
+//
+//vetsparse:allocfree
 func (f *ILU0) factorize(ops *Ops) error {
 	colPos := f.colPos // scatter index of row i's entries; -1 outside row i
 	var flops int64
@@ -203,6 +207,8 @@ func (f *ILU0) factorize(ops *Ops) error {
 
 // resetColPos clears the scatter marks of row i after an early exit so the
 // scratch array is all -1 for the next factorization.
+//
+//vetsparse:allocfree
 func (f *ILU0) resetColPos(i int) {
 	for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
 		f.colPos[f.colIdx[k]] = -1
@@ -210,6 +216,8 @@ func (f *ILU0) resetColPos(i int) {
 }
 
 // Solve applies the preconditioner: x = U^-1 L^-1 b. x and b may alias.
+//
+//vetsparse:allocfree
 func (f *ILU0) Solve(x, b Vector, ops *Ops) {
 	if len(x) != f.n || len(b) != f.n {
 		panic("linalg: ILU0 solve dimension mismatch")
@@ -238,6 +246,8 @@ func (f *ILU0) Solve(x, b Vector, ops *Ops) {
 // enforce the same dependency order, so the result is bit-for-bit Solve's
 // at any team size. Levels narrower than ParMinLevelRows run inline; a nil
 // or single team falls back to Solve outright.
+//
+//vetsparse:allocfree
 func (f *ILU0) SolveWith(t *Team, x, b Vector, ops *Ops) {
 	if t.seq() || f.maxWidth < ParMinLevelRows {
 		f.Solve(x, b, ops)
@@ -273,6 +283,8 @@ func (f *ILU0) SolveWith(t *Team, x, b Vector, ops *Ops) {
 
 // forwardRows runs the unit-lower forward substitution for the schedule
 // positions [p0, p1) of fwdRows: x[i] = b[i] - L[i,:]*x.
+//
+//vetsparse:allocfree
 func (f *ILU0) forwardRows(x, b Vector, p0, p1 int) {
 	for p := p0; p < p1; p++ {
 		i := f.fwdRows[p]
@@ -286,6 +298,8 @@ func (f *ILU0) forwardRows(x, b Vector, p0, p1 int) {
 
 // backwardRows runs the upper backward substitution for the schedule
 // positions [p0, p1) of bwdRows: x[i] = (x[i] - U[i,i+1:]*x) / U[i,i].
+//
+//vetsparse:allocfree
 func (f *ILU0) backwardRows(x Vector, p0, p1 int) {
 	for p := p0; p < p1; p++ {
 		i := f.bwdRows[p]
@@ -313,6 +327,8 @@ func BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (Solve
 // changed step refactorizes in place with no allocation. A NaN key never
 // matches, forcing a refactorization. On factorization breakdown it falls
 // back to the Jacobi-preconditioned BiCGStab.
+//
+//vetsparse:allocfree
 func (ws *Workspace) BiCGStabILU(a *CSR, x, b Vector, tol float64, maxIter int, key float64, ops *Ops) (SolveStats, error) {
 	f, err := ws.ILUFor(a, key, ops)
 	if err != nil {

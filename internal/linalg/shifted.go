@@ -115,6 +115,8 @@ func (o *ShiftedOperator) Invalidate() { o.valid = false }
 //
 // The per-entry arithmetic matches CSR.ShiftedScaled exactly, so the
 // resulting values are bit-identical to a from-scratch assembly.
+//
+//vetsparse:allocfree
 func (o *ShiftedOperator) Update(s float64, ops *Ops) *CSR {
 	if o.valid && s == o.s {
 		return o.m
@@ -129,6 +131,8 @@ func (o *ShiftedOperator) Update(s float64, ops *Ops) *CSR {
 // ranges. Each stored entry is written exactly once with the serial
 // arithmetic, so the values are bit-identical to Update's at any team size.
 // A nil team (or one below the parallel cut-over) falls back to Update.
+//
+//vetsparse:allocfree
 func (o *ShiftedOperator) UpdateWith(t *Team, s float64, ops *Ops) *CSR {
 	if o.valid && s == o.s {
 		return o.m
@@ -146,6 +150,8 @@ func (o *ShiftedOperator) UpdateWith(t *Team, s float64, ops *Ops) *CSR {
 }
 
 // updateRange rewrites the values of rows [r0, r1) for shift s.
+//
+//vetsparse:allocfree
 func (o *ShiftedOperator) updateRange(s float64, r0, r1 int) {
 	aval := o.a.Val
 	for r := r0; r < r1; r++ {

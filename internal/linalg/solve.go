@@ -31,6 +31,8 @@ func BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveSta
 
 // BiCGStab is the workspace-pooled variant of the package-level BiCGStab:
 // all solver vectors come from ws, so steady-state calls allocate nothing.
+//
+//vetsparse:allocfree
 func (ws *Workspace) BiCGStab(a *CSR, x, b Vector, tol float64, maxIter int, ops *Ops) (SolveStats, error) {
 	n := a.Rows
 	if a.Cols != n || len(x) != n || len(b) != n {

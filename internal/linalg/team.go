@@ -157,6 +157,7 @@ func (t *Team) Close() {
 // seq reports whether kernels must run inline (nil, single, or closed team).
 func (t *Team) seq() bool { return t == nil || t.n <= 1 }
 
+//vetsparse:allocfree
 func (t *Team) worker(w int) {
 	for range t.start[w] {
 		t.exec(w)
@@ -165,6 +166,8 @@ func (t *Team) worker(w int) {
 }
 
 // kick runs the prepared kernel on all workers and waits for completion.
+//
+//vetsparse:allocfree
 func (t *Team) kick() {
 	for w := 1; w < t.n; w++ {
 		t.start[w] <- struct{}{}
@@ -187,9 +190,12 @@ func (t *Team) kick() {
 }
 
 // exec runs worker w's share [split[w], split[w+1]) of the current kernel.
+//
+//vetsparse:allocfree
 func (t *Team) exec(w int) {
 	var t0 time.Time
 	if t.obs != nil {
+		//vetsparse:ignore determinism metrics-only imbalance timing; never feeds float results
 		t0 = time.Now()
 	}
 	lo, hi := t.split[w], t.split[w+1]
@@ -252,14 +258,19 @@ func (t *Team) exec(w int) {
 		t.runFn(lo, hi)
 	}
 	if t.obs != nil {
+		//vetsparse:ignore determinism metrics-only imbalance timing; never feeds float results
 		t.workerUs[w] = time.Since(t0).Microseconds()
 	}
 }
 
 // splitEven partitions [0, n) into t.n contiguous worker ranges.
+//
+//vetsparse:allocfree
 func (t *Team) splitEven(n int) { t.splitRange(0, n) }
 
 // splitRange partitions [lo, hi) into t.n contiguous worker ranges.
+//
+//vetsparse:allocfree
 func (t *Team) splitRange(lo, hi int) {
 	n := hi - lo
 	for w := 0; w <= t.n; w++ {
@@ -270,6 +281,8 @@ func (t *Team) splitRange(lo, hi int) {
 // splitRowsByNNZ partitions m's rows into t.n contiguous ranges of roughly
 // equal stored-entry counts (a plain even row split would starve workers on
 // matrices whose nnz is concentrated in few rows).
+//
+//vetsparse:allocfree
 func (t *Team) splitRowsByNNZ(m *CSR) {
 	nnz := m.NNZ()
 	t.split[0] = 0
@@ -293,6 +306,8 @@ func (t *Team) splitRowsByNNZ(m *CSR) {
 // each concurrently. fn must be safe to run from multiple goroutines on
 // disjoint ranges. Intended for cold-path parallel loops (prolongation);
 // the hot kernels have dedicated closure-free entry points.
+//
+//vetsparse:allocfree
 func (t *Team) Run(n int, fn func(lo, hi int)) {
 	if t.seq() || n < t.Size() {
 		fn(0, n)
@@ -308,6 +323,8 @@ func (t *Team) Run(n int, fn func(lo, hi int)) {
 // MulVec computes y = m*x, splitting rows across the team balanced by
 // stored entries. Every y[r] is one row's serial dot product, so the result
 // is exactly CSR.MulVec's.
+//
+//vetsparse:allocfree
 func (t *Team) MulVec(m *CSR, y, x Vector, ops *Ops) {
 	if t.seq() || m.Rows < ParMinRows {
 		m.MulVec(y, x, ops)
@@ -326,6 +343,8 @@ func (t *Team) MulVec(m *CSR, y, x Vector, ops *Ops) {
 // Dot returns the inner product of a and b through the fixed-chunk ordered
 // reduction: workers fill per-chunk partials, the caller folds them in
 // chunk order — exactly the sum Vector.Dot computes serially.
+//
+//vetsparse:allocfree
 func (t *Team) Dot(a, b Vector, ops *Ops) float64 {
 	if t.seq() || len(a) < ParMinRed {
 		return a.Dot(b, ops)
@@ -348,12 +367,16 @@ func (t *Team) Dot(a, b Vector, ops *Ops) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v (parallel Dot plus sqrt).
+//
+//vetsparse:allocfree
 func (t *Team) Norm2(v Vector, ops *Ops) float64 {
 	return math.Sqrt(t.Dot(v, v, ops))
 }
 
 // WRMSNorm is the parallel twin of Vector.WRMSNorm, reduced through the
 // same fixed-chunk ordered fold.
+//
+//vetsparse:allocfree
 func (t *Team) WRMSNorm(v, ref Vector, atol, rtol float64, ops *Ops) float64 {
 	if t.seq() || len(v) < ParMinRed {
 		return v.WRMSNorm(ref, atol, rtol, ops)
@@ -374,6 +397,8 @@ func (t *Team) WRMSNorm(v, ref Vector, atol, rtol float64, ops *Ops) float64 {
 }
 
 // Copy copies src into dst in parallel.
+//
+//vetsparse:allocfree
 func (t *Team) Copy(dst, src Vector) {
 	if t.seq() || len(dst) < ParMinVec {
 		copy(dst, src)
@@ -386,6 +411,8 @@ func (t *Team) Copy(dst, src Vector) {
 }
 
 // AXPY computes y += a*x.
+//
+//vetsparse:allocfree
 func (t *Team) AXPY(y Vector, a float64, x Vector, ops *Ops) {
 	if t.seq() || len(y) < ParMinVec {
 		y.AXPY(a, x, ops)
@@ -402,6 +429,8 @@ func (t *Team) AXPY(y Vector, a float64, x Vector, ops *Ops) {
 }
 
 // AXPYTo computes dst = y + a*x (dst may alias y or x).
+//
+//vetsparse:allocfree
 func (t *Team) AXPYTo(dst, y Vector, a float64, x Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		for i := range dst {
@@ -419,6 +448,8 @@ func (t *Team) AXPYTo(dst, y Vector, a float64, x Vector, ops *Ops) {
 
 // AXPY2 computes dst += a*x + b*y, the fused two-direction update of the
 // BiCGStab solution step.
+//
+//vetsparse:allocfree
 func (t *Team) AXPY2(dst Vector, a float64, x Vector, b float64, y Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		for i := range dst {
@@ -436,6 +467,8 @@ func (t *Team) AXPY2(dst Vector, a float64, x Vector, b float64, y Vector, ops *
 
 // UpdateP computes the fused BiCGStab search-direction update
 // p = r + beta*(p - omega*v).
+//
+//vetsparse:allocfree
 func (t *Team) UpdateP(p, r, v Vector, beta, omega float64, ops *Ops) {
 	if t.seq() || len(p) < ParMinVec {
 		for i := range p {
@@ -452,6 +485,8 @@ func (t *Team) UpdateP(p, r, v Vector, beta, omega float64, ops *Ops) {
 }
 
 // MulElem computes dst = d .* x (the Jacobi preconditioner application).
+//
+//vetsparse:allocfree
 func (t *Team) MulElem(dst, d, x Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		for i := range dst {
@@ -468,6 +503,8 @@ func (t *Team) MulElem(dst, d, x Vector, ops *Ops) {
 }
 
 // MulElemAdd computes dst += d .* x.
+//
+//vetsparse:allocfree
 func (t *Team) MulElemAdd(dst, d, x Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		for i := range dst {
@@ -485,6 +522,8 @@ func (t *Team) MulElemAdd(dst, d, x Vector, ops *Ops) {
 
 // ScaleTo computes dst = a*x (dst may alias x; used to normalize Krylov
 // basis vectors).
+//
+//vetsparse:allocfree
 func (t *Team) ScaleTo(dst Vector, a float64, x Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		for i := range dst {
@@ -501,6 +540,8 @@ func (t *Team) ScaleTo(dst Vector, a float64, x Vector, ops *Ops) {
 }
 
 // Sub computes dst = a - b component-wise (dst may alias either operand).
+//
+//vetsparse:allocfree
 func (t *Team) Sub(dst, a, b Vector, ops *Ops) {
 	if t.seq() || len(dst) < ParMinVec {
 		dst.Sub(a, b, ops)
@@ -515,6 +556,8 @@ func (t *Team) Sub(dst, a, b Vector, ops *Ops) {
 
 // dotChunks fills partial[c] with the serial dot of chunk c for every chunk
 // in [c0, c1).
+//
+//vetsparse:allocfree
 func dotChunks(partial []float64, a, b Vector, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		lo := c * redChunk
@@ -532,6 +575,8 @@ func dotChunks(partial []float64, a, b Vector, c0, c1 int) {
 
 // wrmsChunks fills partial[c] with the weighted squared-error sum of chunk
 // c for every chunk in [c0, c1).
+//
+//vetsparse:allocfree
 func wrmsChunks(partial []float64, v, ref Vector, atol, rtol float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		lo := c * redChunk

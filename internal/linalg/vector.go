@@ -21,6 +21,8 @@ type Ops struct {
 }
 
 // Add accounts n floating-point operations.
+//
+//vetsparse:allocfree
 func (o *Ops) Add(n int64) {
 	if o != nil {
 		o.Flops += n
@@ -41,6 +43,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Fill sets every component to s.
+//
+//vetsparse:allocfree
 func (v Vector) Fill(s float64) {
 	for i := range v {
 		v[i] = s
@@ -48,6 +52,8 @@ func (v Vector) Fill(s float64) {
 }
 
 // AXPY computes v += a*x.
+//
+//vetsparse:allocfree
 func (v Vector) AXPY(a float64, x Vector, ops *Ops) {
 	if len(v) != len(x) {
 		panic(fmt.Sprintf("linalg: axpy length mismatch %d != %d", len(v), len(x)))
@@ -59,6 +65,8 @@ func (v Vector) AXPY(a float64, x Vector, ops *Ops) {
 }
 
 // Scale computes v *= a.
+//
+//vetsparse:allocfree
 func (v Vector) Scale(a float64, ops *Ops) {
 	for i := range v {
 		v[i] *= a
@@ -72,6 +80,8 @@ func (v Vector) Scale(a float64, ops *Ops) {
 // many workers compute the chunks, which is what lets Team.Dot return
 // bit-for-bit this value at any team size. Vectors shorter than one chunk
 // reduce to the classic single running sum.
+//
+//vetsparse:allocfree
 func (v Vector) Dot(x Vector, ops *Ops) float64 {
 	if len(v) != len(x) {
 		panic(fmt.Sprintf("linalg: dot length mismatch %d != %d", len(v), len(x)))
@@ -93,11 +103,15 @@ func (v Vector) Dot(x Vector, ops *Ops) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
+//vetsparse:allocfree
 func (v Vector) Norm2(ops *Ops) float64 {
 	return math.Sqrt(v.Dot(v, ops))
 }
 
 // NormInf returns the maximum absolute component of v.
+//
+//vetsparse:allocfree
 func (v Vector) NormInf() float64 {
 	m := 0.0
 	for _, x := range v {
@@ -112,6 +126,8 @@ func (v Vector) NormInf() float64 {
 // controller: sqrt(mean((v_i / (atol + rtol*|ref_i|))^2)). Like Dot it sums
 // through the fixed-chunk ordered reduction so Team.WRMSNorm matches it
 // bit-for-bit.
+//
+//vetsparse:allocfree
 func (v Vector) WRMSNorm(ref Vector, atol, rtol float64, ops *Ops) float64 {
 	if len(v) == 0 {
 		return 0
@@ -135,6 +151,8 @@ func (v Vector) WRMSNorm(ref Vector, atol, rtol float64, ops *Ops) float64 {
 }
 
 // Sub computes v = a - b component-wise.
+//
+//vetsparse:allocfree
 func (v Vector) Sub(a, b Vector, ops *Ops) {
 	for i := range v {
 		v[i] = a[i] - b[i]

@@ -1,0 +1,58 @@
+// Command gen regenerates the event and metric name tables of
+// OBSERVABILITY.md from the taxonomy in internal/obs/names.go, the single
+// source of truth shared with the obsnames analyzer. Run via
+// `go generate ./internal/obs`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+const docPath = "../../OBSERVABILITY.md" // go generate runs in internal/obs
+
+func main() {
+	path := docPath
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	out := string(data)
+	out, err = splice(out, "events", obs.RenderEventTable())
+	if err != nil {
+		fatal(err)
+	}
+	out, err = splice(out, "metrics", obs.RenderMetricTable())
+	if err != nil {
+		fatal(err)
+	}
+	if string(data) != out {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("gen: OBSERVABILITY.md updated")
+	}
+}
+
+// splice replaces the block between the named GENERATED markers.
+func splice(doc, name, table string) (string, error) {
+	begin := fmt.Sprintf("<!-- BEGIN GENERATED: %s (go generate ./internal/obs) -->\n", name)
+	end := fmt.Sprintf("<!-- END GENERATED: %s -->", name)
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		return "", fmt.Errorf("gen: markers for %q not found in OBSERVABILITY.md", name)
+	}
+	return doc[:i+len(begin)] + table + doc[j:], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -17,6 +17,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. No-op on a nil counter.
+//
+//vetsparse:allocfree
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -25,6 +27,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
+//
+//vetsparse:allocfree
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for a nil counter).
@@ -42,6 +46,8 @@ type Gauge struct {
 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//vetsparse:allocfree
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -50,6 +56,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta. No-op on a nil gauge.
+//
+//vetsparse:allocfree
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -82,6 +90,8 @@ type Histogram struct {
 }
 
 // bucketOf returns the bucket index of a microsecond observation.
+//
+//vetsparse:allocfree
 func bucketOf(us int64) int {
 	if us <= 0 {
 		return 0
@@ -95,6 +105,8 @@ func bucketOf(us int64) int {
 
 // Observe records one duration, given in microseconds. Negative values
 // clamp to zero. No-op on a nil histogram.
+//
+//vetsparse:allocfree
 func (h *Histogram) Observe(us int64) {
 	if h == nil {
 		return
@@ -125,6 +137,8 @@ func (h *Histogram) Observe(us int64) {
 
 // ObserveSince records the elapsed wall-clock time since t0. No-op on a
 // nil histogram.
+//
+//vetsparse:allocfree
 func (h *Histogram) ObserveSince(t0 time.Time) {
 	if h == nil {
 		return

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the single source of truth for the observability name
+// taxonomy: the event-kind table and the metric-name table rendered into
+// OBSERVABILITY.md (go generate, below) and enforced over the codebase by
+// the obsnames analyzer (internal/analysis/passes/obsnames). Editing a
+// name or adding a metric happens here; the doc and the checker follow.
+
+//go:generate go run ./gen
+
+// EventDoc documents one row of the event-taxonomy table. A row may cover
+// several kinds (begin/end pairs share emitter and payload semantics).
+type EventDoc struct {
+	// Kinds are the kinds documented by the row.
+	Kinds []Kind
+	// Emitter names who emits the event.
+	Emitter string
+	// Payload describes the A, B integer payloads ("—" when unused).
+	Payload string
+}
+
+// EventDocs is the event taxonomy, one entry per OBSERVABILITY.md row.
+// TestEventDocsComplete asserts every Kind appears exactly once.
+var EventDocs = []EventDoc{
+	{[]Kind{KPoolCreate}, "`core.Master.CreatePool`", "—"},
+	{[]Kind{KWorkerCreate}, "coordinator, per `create_worker`", "worker ordinal"},
+	{[]Kind{KWorkerDeath}, "protocol wrapper / abandonment, exactly once per worker", "—"},
+	{[]Kind{KJobDispatch}, "`core.Pool.dispatch`", "job ID, attempt"},
+	{[]Kind{KJobResult}, "`core.Pool.Collect` on an accepted result", "job ID, attempt"},
+	{[]Kind{KJobRetry}, "`core.Pool.fail` within the retry budget", "job ID, failed attempt"},
+	{[]Kind{KJobAbandon}, "`core.Master.abandon` (deadline expiry / budget stop)", "—"},
+	{[]Kind{KJobFailed}, "`core.Pool.fail` on retry exhaustion", "job ID, attempts"},
+	{[]Kind{KRendezvousBegin, KRendezvousEnd}, "coordinator", "workers created, deaths counted"},
+	{[]Kind{KBudgetExhausted}, "`core.Pool.exhaust`", "failures, budget"},
+	{[]Kind{KSubsolveBegin, KSubsolveEnd}, "`solver.timedSubsolve` (workers, `Sequential`, fallback)", "begin: grid L1, L2; end: flops, steps"},
+	{[]Kind{KFallback}, "`solver.Concurrent` on graceful degradation", "job ID, attempts"},
+	{[]Kind{KStreamConnect, KStreamBreak}, "`manifold.Connect` / `Stream.Break`", "stream type (0=BK, 1=KK)"},
+	{[]Kind{KDeadlineExpired}, "`manifold.Port.ReadWithin` on timeout", "deadline (µs)"},
+	{[]Kind{KTaskFork, KTaskAdopt, KTaskReuse, KTaskKill}, "`cluster.Spawner`, virtual time", "task ID, load"},
+	{[]Kind{KMachineCrash, KMachineSlow}, "`mwsim` failure plan, virtual time", "slow: factor"},
+	{[]Kind{KWorkerLost}, "`mwsim` when a crash takes a worker", "grid L1, L2"},
+}
+
+// MetricDoc documents one registered metric name. A `<grid>` segment marks
+// a dynamic component (the per-grid metric families built by
+// concatenation in solver.timedSubsolve).
+type MetricDoc struct {
+	// Name is the canonical metric name, with `<grid>` for dynamic
+	// segments.
+	Name string
+	// Type is "counter", "gauge" or "histogram".
+	Type string
+	// Meaning is the one-line doc rendered into the table.
+	Meaning string
+}
+
+// MetricDocs is the metric-name taxonomy, one entry per OBSERVABILITY.md
+// row. The obsnames analyzer rejects Counter/Gauge/Histogram calls whose
+// name does not resolve to one of these.
+var MetricDocs = []MetricDoc{
+	{"core.job.attempt.us", "histogram", "dispatch-to-accepted-result latency per job"},
+	{"core.jobs.outstanding", "gauge", "jobs submitted but not yet resolved"},
+	{"linalg.team.imbalance.us", "histogram", "per-dispatch spread between first and last finishing team worker"},
+	{"solver.subsolve.<grid>.cores", "histogram", "team size used per subsolve of the grid"},
+	{"solver.subsolve.<grid>.us", "histogram", "per-grid subsolve duration, e.g. `solver.subsolve.grid(1,2;root=2).us`"},
+}
+
+// ProtocolEvents are the canonical manifold event names of the
+// master/worker protocol (the paper's §5 vocabulary, internal/core's Ev*
+// constants). The obsnames analyzer checks event string literals raised or
+// awaited on processes against this list.
+var ProtocolEvents = []string{
+	"create_pool",
+	"create_worker",
+	"rendezvous",
+	"a_rendezvous",
+	"finished",
+	"death_worker",
+}
+
+// EventNames returns the dotted names of every real Kind ("pool.create" …
+// "worker.lost"), in Kind order.
+func EventNames() []string {
+	names := make([]string, 0, int(kindCount)-1)
+	for k := Kind(1); k < kindCount; k++ {
+		names = append(names, k.String())
+	}
+	return names
+}
+
+// KnownMetric reports whether a fully-literal metric name is in the
+// taxonomy, resolving `<grid>` segments against any single name segment.
+func KnownMetric(name string) bool {
+	for _, d := range MetricDocs {
+		if d.Name == name {
+			return true
+		}
+		prefix, suffix, ok := strings.Cut(d.Name, "<grid>")
+		if ok && strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) && len(name) > len(prefix)+len(suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownMetricParts reports whether a metric name built by concatenation —
+// a constant prefix and suffix around a dynamic middle — matches a
+// taxonomy entry with a `<grid>` segment in that position.
+func KnownMetricParts(prefix, suffix string) bool {
+	for _, d := range MetricDocs {
+		p, s, ok := strings.Cut(d.Name, "<grid>")
+		if ok && p == prefix && s == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderEventTable renders EventDocs as the OBSERVABILITY.md markdown
+// table; go generate splices it between the GENERATED markers, and
+// TestTablesInSync fails if the file drifts from this rendering.
+func RenderEventTable() string {
+	var b strings.Builder
+	b.WriteString("| Kind | Emitter | A, B |\n|---|---|---|\n")
+	for _, d := range EventDocs {
+		names := make([]string, len(d.Kinds))
+		for i, k := range d.Kinds {
+			names[i] = "`" + k.String() + "`"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", strings.Join(names, " / "), d.Emitter, d.Payload)
+	}
+	return b.String()
+}
+
+// RenderMetricTable renders MetricDocs as the OBSERVABILITY.md markdown
+// table.
+func RenderMetricTable() string {
+	var b strings.Builder
+	b.WriteString("| Name | Type | Meaning |\n|---|---|---|\n")
+	for _, d := range MetricDocs {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", d.Name, d.Type, d.Meaning)
+	}
+	return b.String()
+}

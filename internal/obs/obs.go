@@ -83,8 +83,8 @@ const (
 	// KSubsolveBegin marks one subsolve starting; Aux is the grid, A its
 	// level.
 	KSubsolveBegin
-	// KSubsolveEnd marks one subsolve finishing; Aux is the grid, A its
-	// level, B the elapsed microseconds.
+	// KSubsolveEnd marks one subsolve finishing; Aux is the grid, A the
+	// floating-point operations spent, B the integrator steps taken.
 	KSubsolveEnd
 	// KFallback marks a job that exhausted its retries being recomputed
 	// master-locally (graceful degradation); Aux is the grid.
@@ -263,6 +263,8 @@ func (r *Recorder) Enabled() bool { return r != nil }
 // Emit records one event stamped with the wall-clock time since the
 // recorder was created. It is safe from any goroutine and a no-op on a nil
 // recorder.
+//
+//vetsparse:allocfree
 func (r *Recorder) Emit(k Kind, actor, aux string, a, b int64) {
 	if r == nil {
 		return
@@ -273,6 +275,8 @@ func (r *Recorder) Emit(k Kind, actor, aux string, a, b int64) {
 // EmitAt records one event with an explicit timestamp (microseconds since
 // the epoch) and host — the entry point for virtual-time emitters like the
 // cluster simulator. No-op on a nil recorder.
+//
+//vetsparse:allocfree
 func (r *Recorder) EmitAt(us int64, k Kind, host, actor, aux string, a, b int64) {
 	if r == nil {
 		return
@@ -280,6 +284,7 @@ func (r *Recorder) EmitAt(us int64, k Kind, host, actor, aux string, a, b int64)
 	r.push(Event{Us: us, Kind: k, Host: host, Actor: actor, Aux: aux, A: a, B: b})
 }
 
+//vetsparse:allocfree
 func (r *Recorder) push(e Event) {
 	r.mu.Lock()
 	r.seq++

@@ -159,6 +159,8 @@ func (w *Workspace) ensure(n int, jac *linalg.CSR) {
 // solve dispatches one stage system to the configured solver, pooling all
 // buffers in ws. key is the shift gamma*tau identifying the current stage
 // matrix for the ILU factorization cache.
+//
+//vetsparse:allocfree
 func (c Config) solve(ws *Workspace, m *linalg.CSR, x, b linalg.Vector, linTol, key float64, ops *linalg.Ops) (linalg.SolveStats, error) {
 	switch c.Solver {
 	case GMRES:
@@ -262,6 +264,8 @@ func (s *Stepper) Stats() Stats { return s.st }
 // a rejected step only shrinks h. Calling Step after Done is a no-op. In
 // steady state (workspace warm, step size held or varied) it allocates
 // nothing.
+//
+//vetsparse:allocfree
 func (s *Stepper) Step() error {
 	if s.Done() {
 		return nil

@@ -135,11 +135,11 @@ func TestAllocate(t *testing.T) {
 		want    []int
 	}{
 		{8, []float64{1, 1, 1, 1}, []int{2, 2, 2, 2}},
-		{4, []float64{10, 1, 1, 1}, []int{1, 1, 1, 1}},   // budget == n: one each
-		{2, []float64{10, 1, 1, 1}, []int{1, 1, 1, 1}},   // budget < n: still one each
-		{10, []float64{6, 2, 1, 1}, []int{5, 2, 2, 1}},   // heaviest gets the surplus
-		{7, []float64{0, 0, 0}, []int{3, 2, 2}},          // zero weights: round-robin
-		{6, []float64{-1, 1, -1}, []int{1, 4, 1}},        // negatives treated as zero
+		{4, []float64{10, 1, 1, 1}, []int{1, 1, 1, 1}}, // budget == n: one each
+		{2, []float64{10, 1, 1, 1}, []int{1, 1, 1, 1}}, // budget < n: still one each
+		{10, []float64{6, 2, 1, 1}, []int{5, 2, 2, 1}}, // heaviest gets the surplus
+		{7, []float64{0, 0, 0}, []int{3, 2, 2}},        // zero weights: round-robin
+		{6, []float64{-1, 1, -1}, []int{1, 4, 1}},      // negatives treated as zero
 		{0, nil, []int{}},
 	}
 	for _, c := range cases {

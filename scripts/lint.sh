@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the repository's lint stack exactly as the CI lint/vetsparse jobs do:
+#   1. go vet (the standard passes)
+#   2. vetsparse, both drivers (the custom go/analysis suite; see LINTS.md)
+#   3. revive (doc-comment policy, revive.toml)
+#   4. staticcheck (staticcheck.conf policy)
+# Tools that are not installed locally are skipped with a notice; CI
+# installs the pinned versions (see .github/workflows/ci.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> vetsparse (standalone driver)"
+go run ./cmd/vetsparse ./...
+
+echo "==> vetsparse (go vet -vettool)"
+bin="$(mktemp -d)/vetsparse"
+go build -o "$bin" ./cmd/vetsparse
+go vet -vettool="$bin" ./...
+
+if command -v revive >/dev/null 2>&1; then
+  echo "==> revive"
+  revive -config revive.toml -set_exit_status \
+    ./internal/core/... ./internal/solver/... ./internal/obs/... ./internal/trace/...
+else
+  echo "==> revive not installed; skipping (CI: go install github.com/mgechev/revive@latest)"
+fi
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "==> staticcheck"
+  staticcheck ./...
+else
+  echo "==> staticcheck not installed; skipping (CI: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"
+fi
+
+echo "lint OK"
