@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/linalg"
 	"repro/internal/obs"
 	"repro/internal/solver"
 )
@@ -91,6 +92,12 @@ func run() int {
 			}
 		}()
 	}
+
+	// Calibrate the intra-grid parallel cut-overs against this host's
+	// measured dispatch cost before any solve starts (setup path only:
+	// solver code itself must stay clock-free). On hosts that cannot run
+	// team members concurrently this sequentializes the team kernels.
+	linalg.Calibrate()
 
 	var rec *obs.Recorder
 	if *traceOut != "" || *timeline != "" || *metrics != "" {

@@ -132,3 +132,39 @@ func badConvert(x int) any {
 	v := any(x) // want `conversion to interface boxes int`
 	return v
 }
+
+// planStep and plan model the fused-phase micro-program form: a pre-built
+// step sequence a hot interpreter walks per dispatch.
+type planStep struct {
+	op   int
+	x, y vec
+}
+
+type plan struct{ steps []planStep }
+
+// execPlan is the shape of a fused-phase interpreter: annotated and clean —
+// a switch over pre-bound steps touches no allocating construct.
+//
+//vetsparse:allocfree
+func execPlan(p *plan, lo, hi int) {
+	for i := range p.steps {
+		st := &p.steps[i]
+		switch st.op {
+		case 0:
+			copy(st.x[lo:hi], st.y[lo:hi])
+		default:
+			for j := lo; j < hi; j++ {
+				st.x[j] += st.y[j]
+			}
+		}
+	}
+}
+
+// badPlanExec grows the step list from inside an annotated hot path: plan
+// building belongs in unannotated setup code, where append reusing the
+// steps[:0] backing array is fine.
+//
+//vetsparse:allocfree
+func badPlanExec(p *plan, x, y vec) {
+	p.steps = append(p.steps, planStep{op: 0, x: x, y: y}) // want `append may grow the backing array`
+}

@@ -44,3 +44,38 @@ func axpyRange(y, x []float64, a float64, lo, hi int) {
 		y[i] += a * x[i]
 	}
 }
+
+// phaseStep models one op of a fused-phase micro-program: operands bound at
+// build time, executed per worker range by a plan interpreter.
+type phaseStep struct {
+	x, y    []float64
+	partial []float64
+}
+
+// badFusedDotStep executes a fused phase's reduction step with one
+// function-level accumulator over the whole worker range: fusing ops into a
+// micro-program does not lift the chunk discipline.
+func badFusedDotStep(st *phaseStep, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += st.x[i] * st.y[i] // want `float accumulation across the whole \[lo, hi\) worker range`
+	}
+	return s
+}
+
+// goodFusedDotStep keeps the redChunk discipline inside the fused phase:
+// the worker's range is chunk-aligned, so the step fills exactly its own
+// slots of the plan's partial buffer with chunk-local accumulators.
+func goodFusedDotStep(st *phaseStep, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		lo, hi := c*1024, (c+1)*1024
+		if hi > len(st.x) {
+			hi = len(st.x)
+		}
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			p += st.x[i] * st.y[i]
+		}
+		st.partial[c] = p
+	}
+}

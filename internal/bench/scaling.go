@@ -17,11 +17,29 @@ import (
 
 // ScalingRow is one row of a strong-scaling measurement: the wall-clock
 // time of the finest-grid subsolve at a fixed problem size and a growing
-// intra-grid team.
+// intra-grid team, plus the fused-phase dispatch traffic of the fastest
+// run (how many team wake/park cycles the solve cost, and how many
+// in-phase barriers they crossed).
 type ScalingRow struct {
 	Cores   int
 	Seconds float64
 	Speedup float64 // vs the 1-core row (or the first row measured)
+
+	Phases   int64 // fused-phase dispatches in the fastest run
+	PhaseUs  int64 // total wall-clock microseconds inside those dispatches
+	Barriers int64 // in-phase barriers crossed by those dispatches
+}
+
+// phaseCounter tallies fused-phase dispatch traffic; it implements
+// linalg.PhaseObserver.
+type phaseCounter struct {
+	phases, us, barriers int64
+}
+
+func (c *phaseCounter) ObservePhase(us, barriers int64) {
+	c.phases++
+	c.us += us
+	c.barriers += barriers
 }
 
 // ScalingOptions configures a strong-scaling run.
@@ -57,8 +75,12 @@ func DefaultScalingOptions(tol float64) ScalingOptions {
 
 // StrongScaling measures the finest-grid subsolve at each team size. The
 // computed solutions are bit-for-bit identical across rows (the team
-// kernels are deterministic); only the wall clock moves.
+// kernels are deterministic); only the wall clock moves. The host is
+// calibrated first, so the serial/parallel cut-overs reflect measured
+// dispatch cost rather than the hand-set defaults; each row also reports
+// the fused-phase dispatch traffic of its fastest run.
 func StrongScaling(o ScalingOptions) ([]ScalingRow, error) {
+	linalg.Calibrate()
 	if len(o.Cores) == 0 {
 		o.Cores = []int{1, runtime.GOMAXPROCS(0)}
 	}
@@ -73,7 +95,10 @@ func StrongScaling(o ScalingOptions) ([]ScalingRow, error) {
 		ws := rosenbrock.NewWorkspace()
 		ws.SetTeam(team)
 		best := 0.0
+		var bestPh phaseCounter
 		for r := 0; r < o.Runs; r++ {
+			var ph phaseCounter
+			team.SetPhaseObserver(&ph)
 			t0 := time.Now()
 			if _, err := solver.SubsolveInto(o.Grid, prob, o.Tol, o.TEnd, o.Lin, ws); err != nil {
 				team.Close()
@@ -81,29 +106,45 @@ func StrongScaling(o ScalingOptions) ([]ScalingRow, error) {
 			}
 			if sec := time.Since(t0).Seconds(); r == 0 || sec < best {
 				best = sec
+				bestPh = ph
 			}
 		}
 		team.Close()
 		if base == 0 {
 			base = best
 		}
-		rows = append(rows, ScalingRow{Cores: c, Seconds: best, Speedup: base / best})
+		rows = append(rows, ScalingRow{
+			Cores: c, Seconds: best, Speedup: base / best,
+			Phases: bestPh.phases, PhaseUs: bestPh.us, Barriers: bestPh.barriers,
+		})
 	}
 	return rows, nil
 }
 
 // WriteScaling renders the rows in the layout of the paper's Table 1
-// (problem column, measured seconds, derived speedup).
+// (problem column, measured seconds, derived speedup), followed by the
+// fused-phase dispatch traffic and the host calibration the run used.
 func WriteScaling(w io.Writer, o ScalingOptions, rows []ScalingRow) error {
+	cal := linalg.Calibrate()
 	if _, err := fmt.Fprintf(w, "strong scaling: subsolve %v, tol %.1e, %s (host: GOMAXPROCS=%d, NumCPU=%d)\n",
 		o.Grid, o.Tol, o.Lin, runtime.GOMAXPROCS(0), runtime.NumCPU()); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%8s | %12s | %8s\n", "cores", "seconds", "speedup"); err != nil {
+	if _, err := fmt.Fprintf(w, "calibration: dispatch %.1f us, elem %.2f ns, effective procs %d, sequentialized %v\n",
+		cal.DispatchUs, cal.ElemNs, cal.EffectiveProcs, cal.Sequentialized); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s | %12s | %8s | %10s | %12s | %10s\n",
+		"cores", "seconds", "speedup", "phases", "us/phase", "barriers"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%8d | %12.4f | %8.2f\n", r.Cores, r.Seconds, r.Speedup); err != nil {
+		usPerPhase := 0.0
+		if r.Phases > 0 {
+			usPerPhase = float64(r.PhaseUs) / float64(r.Phases)
+		}
+		if _, err := fmt.Fprintf(w, "%8d | %12.4f | %8.2f | %10d | %12.2f | %10d\n",
+			r.Cores, r.Seconds, r.Speedup, r.Phases, usPerPhase, r.Barriers); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Hand-set defaults of the parallel cut-over knobs. Calibrate treats a
+// knob still holding its default as "not explicitly configured" and
+// replaces it with a measured break-even; a knob the caller has changed is
+// left alone.
+const (
+	defParMinVec       = 8192
+	defParMinRed       = 8192
+	defParMinRows      = 2048
+	defParMinLevelRows = 256
+	defParMinPhase     = 4096
+)
+
+// knobCeiling is the "never parallelize" setting Calibrate installs on
+// hosts that cannot run team members concurrently.
+const knobCeiling = 1 << 30
+
+// Calibration reports what Calibrate measured and which cut-overs are in
+// effect afterwards.
+type Calibration struct {
+	// EffectiveProcs is min(GOMAXPROCS, NumCPU): the parallelism the
+	// host actually delivers to a team.
+	EffectiveProcs int
+	// DispatchUs is the measured cost of one team wake/park round-trip
+	// in microseconds (work subtracted).
+	DispatchUs float64
+	// ElemNs is the measured serial per-element cost of an axpy-class
+	// elementwise kernel in nanoseconds.
+	ElemNs float64
+	// Sequentialized reports that the host cannot run team members in
+	// parallel, so every cut-over was pushed out of reach and the
+	// kernels run serially regardless of team size — the
+	// "sequentialize overparallelized code" outcome: coordination that
+	// cannot pay for itself is removed, not merely cheapened.
+	Sequentialized bool
+	// The cut-over values in effect after calibration.
+	ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase int
+}
+
+var (
+	calOnce sync.Once
+	calRes  Calibration
+)
+
+// Calibrate measures the host's team dispatch cost and serial kernel
+// throughput once per process and derives the ParMin* cut-overs from them,
+// replacing the hand-set defaults. Knobs already changed from their
+// defaults are respected, and callers may still override any knob after
+// calibration — the vars stay plain exported tuning knobs.
+//
+// Calibrate takes wall-clock timestamps, so it must only run from setup
+// paths (main functions, benchmark harnesses) — never from solver code,
+// which the determinism analyzer keeps free of time sources. Results are
+// bit-for-bit unaffected either way; only the serial/parallel cut-over
+// moves.
+func Calibrate() Calibration {
+	calOnce.Do(func() { calRes = calibrate() })
+	return calRes
+}
+
+func calibrate() Calibration {
+	procs := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < procs {
+		procs = c
+	}
+	cal := Calibration{EffectiveProcs: procs}
+
+	// Serial per-element cost of an axpy-class kernel, best of a few
+	// trials to shed scheduler noise. The multiplier is tiny so repeated
+	// axpys cannot overflow the operands.
+	const n = 1 << 15
+	x := NewVector(n)
+	y := NewVector(n)
+	for i := range x {
+		x[i] = 0.5 + float64(i%7)
+		y[i] = 0.25 + float64(i%5)
+	}
+	var ops Ops
+	y.AXPY(1e-12, x, &ops) // warm caches
+	const reps = 8
+	best := time.Duration(1) << 62
+	for trial := 0; trial < 5; trial++ {
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			y.AXPY(1e-12, x, &ops)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	cal.ElemNs = float64(best.Nanoseconds()) / float64(reps*n)
+	if cal.ElemNs <= 0 {
+		cal.ElemNs = 0.5 // timer too coarse; assume a modern core
+	}
+
+	// Wake/park round-trip cost: dispatch a one-chunk axpy through a
+	// real team (bypassing the cut-over knobs) and subtract the compute.
+	ts := procs
+	if ts < 2 {
+		ts = 2
+	}
+	if ts > 8 {
+		ts = 8
+	}
+	tm := NewTeam(ts)
+	tm.y, tm.x, tm.alpha = y[:redChunk], x[:redChunk], 1e-12
+	tm.op = opAXPY
+	tm.splitEven(redChunk)
+	tm.kick() // spin up the workers before timing
+	bestD := time.Duration(1) << 62
+	for trial := 0; trial < 7; trial++ {
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			tm.kick()
+		}
+		if d := time.Since(t0); d < bestD {
+			bestD = d
+		}
+	}
+	tm.Close()
+	dispatchNs := float64(bestD.Nanoseconds())/reps - cal.ElemNs*redChunk/float64(ts)
+	if dispatchNs < 0 {
+		dispatchNs = 0
+	}
+	cal.DispatchUs = dispatchNs / 1e3
+
+	if procs < 2 {
+		// One effective processor: a team can never run its members in
+		// parallel, so every dispatch is pure overhead. Push all
+		// cut-overs out of reach.
+		cal.Sequentialized = true
+		setKnob(&ParMinVec, defParMinVec, knobCeiling)
+		setKnob(&ParMinRed, defParMinRed, knobCeiling)
+		setKnob(&ParMinRows, defParMinRows, knobCeiling)
+		setKnob(&ParMinLevelRows, defParMinLevelRows, knobCeiling)
+		setKnob(&ParMinPhase, defParMinPhase, knobCeiling)
+	} else {
+		// Break-even length n*: one dispatch pays for itself when the
+		// work it offloads, n*elem*(p-1)/p, covers its cost.
+		saved := cal.ElemNs * float64(procs-1) / float64(procs)
+		nStar := int(dispatchNs / saved)
+		nStar = clampKnob(nStar, redChunk, 1<<22)
+		setKnob(&ParMinVec, defParMinVec, nStar)
+		setKnob(&ParMinRed, defParMinRed, nStar)
+		// SpMV rows carry ~2*nnz/row flops plus irregular access; the
+		// triangular levels ~nnz/row. Scale the break-even down
+		// accordingly (5-point stencil: ~5 nnz/row).
+		setKnob(&ParMinRows, defParMinRows, clampKnob(nStar/8, 64, 1<<22))
+		setKnob(&ParMinLevelRows, defParMinLevelRows, clampKnob(nStar/4, 64, 1<<22))
+		// A fused phase amortizes several ops (and several saved
+		// dispatches) over one wake/park, so it breaks even earlier
+		// than a single op.
+		setKnob(&ParMinPhase, defParMinPhase, clampKnob(nStar/4, redChunk, 1<<22))
+	}
+	cal.ParMinVec = ParMinVec
+	cal.ParMinRed = ParMinRed
+	cal.ParMinRows = ParMinRows
+	cal.ParMinLevelRows = ParMinLevelRows
+	cal.ParMinPhase = ParMinPhase
+	return cal
+}
+
+// setKnob installs val into a cut-over knob unless the caller already
+// changed it from its default.
+func setKnob(knob *int, def, val int) {
+	if *knob == def {
+		*knob = val
+	}
+}
+
+func clampKnob(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

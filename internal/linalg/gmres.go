@@ -58,6 +58,13 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 		x.Fill(0)
 		return SolveStats{}, nil
 	}
+	// Fused Arnoldi: one dispatch per column covers the preconditioner
+	// application, the SpMV and the whole Gram-Schmidt sweep, instead of
+	// 3 + 2(k+1) op dispatches.
+	fused := ws.fusedOK(n)
+	if fused {
+		ws.buildArnoldiPhase(a)
+	}
 
 	// Krylov basis and Hessenberg in column-major slices.
 	v := ws.basis
@@ -86,15 +93,26 @@ func (ws *Workspace) GMRES(a *CSR, x, b Vector, tol float64, restart, maxIter in
 		k := 0
 		for ; k < m && total < maxIter; k++ {
 			total++
-			// w = A M^-1 v_k (right preconditioning).
-			tm.MulElem(z, invD, v[k], ops)
-			tm.MulVec(a, w, z, ops)
-			// Modified Gram-Schmidt.
-			for i := 0; i <= k; i++ {
-				h[i][k] = tm.Dot(w, v[i], ops)
-				tm.AXPY(w, -h[i][k], v[i], ops)
+			if fused {
+				ws.karn = k
+				tm.RunPhase(&ws.phArn)
+				// Static steps (MulElemAt + SpMV), the per-column
+				// Gram-Schmidt dots and AXPYs, and the final norm —
+				// exactly the unfused charges.
+				ops.Add(ws.phArn.Flops())
+				ops.Add(int64(k+1)*4*int64(n) + 2*int64(n))
+				h[k+1][k] = math.Sqrt(ws.phArn.Fold((k + 1) & 1))
+			} else {
+				// w = A M^-1 v_k (right preconditioning).
+				tm.MulElem(z, invD, v[k], ops)
+				tm.MulVec(a, w, z, ops)
+				// Modified Gram-Schmidt.
+				for i := 0; i <= k; i++ {
+					h[i][k] = tm.Dot(w, v[i], ops)
+					tm.AXPY(w, -h[i][k], v[i], ops)
+				}
+				h[k+1][k] = tm.Norm2(w, ops)
 			}
-			h[k+1][k] = tm.Norm2(w, ops)
 			if h[k+1][k] > 1e-300 {
 				tm.ScaleTo(v[k+1], 1/h[k+1][k], w, ops)
 			} else {

@@ -1,0 +1,408 @@
+package linalg
+
+import "fmt"
+
+// ParMinPhase is the smallest vector length worth a fused-phase dispatch:
+// below it RunPhase interprets the micro-program serially on the caller.
+// Exported tuning knob like the other ParMin cut-overs; results are
+// bit-for-bit identical either way. Calibrate replaces the default with a
+// measured break-even on process startup.
+var ParMinPhase = defParMinPhase
+
+// phaseOp selects one step of a fused-phase micro-program.
+type phaseOp uint8
+
+const (
+	phBarrier phaseOp = iota
+	phCopy
+	phUpdateP
+	phMulElem
+	phMulElemAt
+	phAXPY
+	phAXPYTo
+	phAXPY2
+	phScaleTo
+	phSpMV
+	phDot
+	phWRMS
+	phMGS
+)
+
+// phaseStep is one op of a micro-program. Operands are bound at build
+// time; scalar operands are bound as pointers so the caller can update
+// them between dispatches without rebuilding the plan.
+type phaseStep struct {
+	op       phaseOp
+	dst      Vector
+	x, y     Vector
+	m        *CSR
+	a, b     *float64
+	slot     int
+	basis    []Vector
+	hess     [][]float64
+	k        *int
+}
+
+// Phase is a fused kernel micro-program: a short sequence of vector ops,
+// SpMV steps and chunked reductions that one Team dispatch executes end to
+// end, instead of paying a wake/park round-trip per op. Workers own
+// chunk-aligned index ranges, so an elementwise step and a following
+// reduction read exactly the elements the same worker just wrote — the only
+// synchronization a phase ever needs is a barrier before a step that reads
+// outside its own range (SpMV reading the whole input vector, or the
+// Gram-Schmidt fold of all partials).
+//
+// Determinism: every elementwise step computes each element with exactly
+// the serial arithmetic, and every reduction fills the same fixed
+// redChunk partials Vector.Dot folds in chunk order, so a phase is
+// bit-for-bit identical to the unfused op sequence at any team size —
+// including the serial interpretation RunPhase falls back to below
+// ParMinPhase.
+//
+// A Phase is built once per solve (Reset + builder calls; backing arrays
+// are reused, so steady-state rebuilding allocates nothing) and dispatched
+// many times. It is owned by one goroutine and one Team at a time.
+type Phase struct {
+	steps    []phaseStep
+	n        int
+	nch      int
+	barriers int   // static phBarrier count (MGS adds k+1 at run time)
+	flops    int64 // static flop charge of one run (MGS steps excluded)
+
+	// part holds the reduction slots. Two slots exist so a phase can
+	// carry two independent reductions, and so the Gram-Schmidt loop can
+	// ping-pong between them: while one worker still folds slot i&1,
+	// others may already fill slot (i+1)&1 for the next projection.
+	part [2][]float64
+}
+
+// Reset clears the program and binds it to length-n vectors. The step and
+// partial backing arrays are kept, so rebuilding a plan of the same shape
+// allocates nothing.
+func (p *Phase) Reset(n int) {
+	p.steps = p.steps[:0]
+	p.n = n
+	p.nch = (n + redChunk - 1) / redChunk
+	p.barriers = 0
+	p.flops = 0
+}
+
+// Len returns the number of steps in the program.
+func (p *Phase) Len() int { return len(p.steps) }
+
+// Flops returns the static flop charge of one run of the program
+// (Gram-Schmidt steps charge per dispatched column and are excluded).
+func (p *Phase) Flops() int64 { return p.flops }
+
+func (p *Phase) check(v Vector) Vector {
+	if len(v) != p.n {
+		panic(fmt.Sprintf("linalg: phase operand length %d != %d", len(v), p.n))
+	}
+	return v
+}
+
+func (p *Phase) checkSlot(slot int) int {
+	if slot != 0 && slot != 1 {
+		panic(fmt.Sprintf("linalg: phase reduction slot %d out of range", slot))
+	}
+	p.part[slot] = growF(p.part[slot], p.nch)
+	return slot
+}
+
+// Barrier inserts a full-team barrier: every write of the preceding steps
+// is visible to every worker after it. Needed exactly before a step that
+// reads outside the worker's own range.
+func (p *Phase) Barrier() {
+	p.steps = append(p.steps, phaseStep{op: phBarrier})
+	p.barriers++
+}
+
+// Copy appends dst = src.
+func (p *Phase) Copy(dst, src Vector) {
+	p.steps = append(p.steps, phaseStep{op: phCopy, dst: p.check(dst), x: p.check(src)})
+}
+
+// UpdateP appends the BiCGStab search-direction update
+// pv = r + beta*(pv - omega*v).
+func (p *Phase) UpdateP(pv, r, v Vector, beta, omega *float64) {
+	p.steps = append(p.steps, phaseStep{op: phUpdateP, dst: p.check(pv), x: p.check(r), y: p.check(v), a: beta, b: omega})
+	p.flops += 4 * int64(p.n)
+}
+
+// MulElem appends dst = d .* x.
+func (p *Phase) MulElem(dst, d, x Vector) {
+	p.steps = append(p.steps, phaseStep{op: phMulElem, dst: p.check(dst), x: p.check(d), y: p.check(x)})
+	p.flops += int64(p.n)
+}
+
+// MulElemAt appends dst = d .* basis[*k]: the Arnoldi preconditioner
+// application, indirected through the current Krylov column.
+func (p *Phase) MulElemAt(dst, d Vector, basis []Vector, k *int) {
+	p.steps = append(p.steps, phaseStep{op: phMulElemAt, dst: p.check(dst), x: p.check(d), basis: basis, k: k})
+	p.flops += int64(p.n)
+}
+
+// AXPY appends y += a*x.
+func (p *Phase) AXPY(y Vector, a *float64, x Vector) {
+	p.steps = append(p.steps, phaseStep{op: phAXPY, dst: p.check(y), x: p.check(x), a: a})
+	p.flops += 2 * int64(p.n)
+}
+
+// AXPYTo appends dst = y + a*x (dst may alias y or x).
+func (p *Phase) AXPYTo(dst, y Vector, a *float64, x Vector) {
+	p.steps = append(p.steps, phaseStep{op: phAXPYTo, dst: p.check(dst), y: p.check(y), x: p.check(x), a: a})
+	p.flops += 2 * int64(p.n)
+}
+
+// AXPY2 appends dst += a*x + b*y.
+func (p *Phase) AXPY2(dst Vector, a *float64, x Vector, b *float64, y Vector) {
+	p.steps = append(p.steps, phaseStep{op: phAXPY2, dst: p.check(dst), x: p.check(x), y: p.check(y), a: a, b: b})
+	p.flops += 4 * int64(p.n)
+}
+
+// ScaleTo appends dst = a*x (dst may alias x).
+func (p *Phase) ScaleTo(dst Vector, a *float64, x Vector) {
+	p.steps = append(p.steps, phaseStep{op: phScaleTo, dst: p.check(dst), x: p.check(x), a: a})
+	p.flops += int64(p.n)
+}
+
+// MulVec appends y = m*x. m must be square of the phase dimension; the
+// rows are split exactly like the vector elements (chunk-aligned), so
+// later reductions over y need no barrier — but a Barrier is required
+// before this step whenever x was written earlier in the phase, because
+// a row's dot product reads the whole of x.
+func (p *Phase) MulVec(m *CSR, y, x Vector) {
+	if m.Rows != p.n || m.Cols != p.n {
+		panic(fmt.Sprintf("linalg: phase SpMV dims %dx%d != %d", m.Rows, m.Cols, p.n))
+	}
+	p.steps = append(p.steps, phaseStep{op: phSpMV, dst: p.check(y), x: p.check(x), m: m})
+	p.flops += 2 * int64(m.NNZ())
+}
+
+// Dot appends the chunked partial fill of a·b into reduction slot 0 or 1;
+// the caller reads the result with Fold after the dispatch.
+func (p *Phase) Dot(slot int, a, b Vector) {
+	p.steps = append(p.steps, phaseStep{op: phDot, slot: p.checkSlot(slot), x: p.check(a), y: p.check(b)})
+	p.flops += 2 * int64(p.n)
+}
+
+// WRMS appends the chunked partial fill of the weighted squared-error sum
+// of v against ref into a reduction slot: Fold(slot) afterwards is the s of
+// Vector.WRMSNorm, i.e. the norm is sqrt(Fold(slot)/n).
+func (p *Phase) WRMS(slot int, v, ref Vector, atol, rtol *float64) {
+	p.steps = append(p.steps, phaseStep{op: phWRMS, slot: p.checkSlot(slot), x: p.check(v), y: p.check(ref), a: atol, b: rtol})
+	p.flops += 5 * int64(p.n)
+}
+
+// MGS appends the modified Gram-Schmidt sweep of the Arnoldi step: for
+// i = 0..*k it computes h := <w, basis[i]> through the ordered chunk fold,
+// stores it into hess[i][*k], and updates w -= h*basis[i]; finally it fills
+// a reduction slot with the partials of <w, w>. The final-norm slot
+// alternates with the column: read it with Fold((*k + 1) & 1). Charges are
+// dynamic (per column), so the caller accounts (k+1)*4n + 2n itself.
+func (p *Phase) MGS(w Vector, basis []Vector, hess [][]float64, k *int) {
+	p.checkSlot(0)
+	p.checkSlot(1)
+	p.steps = append(p.steps, phaseStep{op: phMGS, dst: p.check(w), basis: basis, hess: hess, k: k})
+}
+
+// Fold returns the ordered chunk fold of a reduction slot — exactly the
+// sum the serial Vector.Dot / WRMSNorm accumulates, independent of which
+// worker filled which chunk.
+//
+//vetsparse:allocfree
+func (p *Phase) Fold(slot int) float64 {
+	s := 0.0
+	for _, q := range p.part[slot][:p.nch] {
+		s += q
+	}
+	return s
+}
+
+// barrierCount returns how many barriers one run of the program crosses,
+// including the per-column barriers of a Gram-Schmidt step.
+//
+//vetsparse:allocfree
+func (p *Phase) barrierCount() int64 {
+	b := int64(p.barriers)
+	for i := range p.steps {
+		if p.steps[i].op == phMGS {
+			b += int64(*p.steps[i].k) + 1
+		}
+	}
+	return b
+}
+
+// exec interprets the program for worker w over its chunk-aligned range.
+// Reductions fill exactly the chunks the range covers, so the union over
+// the team is every chunk, each written once.
+//
+//vetsparse:allocfree
+func (p *Phase) exec(t *Team, w int) {
+	lo, hi := t.split[w], t.split[w+1]
+	c0 := lo / redChunk
+	c1 := (hi + redChunk - 1) / redChunk
+	for si := range p.steps {
+		st := &p.steps[si]
+		switch st.op {
+		case phBarrier:
+			t.phaseBarrier()
+		case phCopy:
+			copy(st.dst[lo:hi], st.x[lo:hi])
+		case phUpdateP:
+			pv, r, v, beta, omega := st.dst, st.x, st.y, *st.a, *st.b
+			for i := lo; i < hi; i++ {
+				pv[i] = r[i] + beta*(pv[i]-omega*v[i])
+			}
+		case phMulElem:
+			dst, d, x := st.dst, st.x, st.y
+			for i := lo; i < hi; i++ {
+				dst[i] = d[i] * x[i]
+			}
+		case phMulElemAt:
+			dst, d, x := st.dst, st.x, st.basis[*st.k]
+			for i := lo; i < hi; i++ {
+				dst[i] = d[i] * x[i]
+			}
+		case phAXPY:
+			y, x, a := st.dst, st.x, *st.a
+			for i := lo; i < hi; i++ {
+				y[i] += a * x[i]
+			}
+		case phAXPYTo:
+			dst, y, x, a := st.dst, st.y, st.x, *st.a
+			for i := lo; i < hi; i++ {
+				dst[i] = y[i] + a*x[i]
+			}
+		case phAXPY2:
+			dst, x, y, a, b := st.dst, st.x, st.y, *st.a, *st.b
+			for i := lo; i < hi; i++ {
+				dst[i] += a*x[i] + b*y[i]
+			}
+		case phScaleTo:
+			dst, x, a := st.dst, st.x, *st.a
+			for i := lo; i < hi; i++ {
+				dst[i] = a * x[i]
+			}
+		case phSpMV:
+			st.m.mulVecRange(st.dst, st.x, lo, hi)
+		case phDot:
+			dotChunks(p.part[st.slot], st.x, st.y, c0, c1)
+		case phWRMS:
+			wrmsChunks(p.part[st.slot], st.x, st.y, *st.a, *st.b, c0, c1)
+		case phMGS:
+			p.mgs(t, st, w, lo, hi, c0, c1)
+		}
+	}
+}
+
+// mgs runs worker w's share of the modified Gram-Schmidt sweep. Every
+// worker folds the full partial set itself after the barrier — the fold is
+// the identical float on every worker, so the following AXPY coefficient
+// is too, and only worker 0 writes it into the Hessenberg. The partial
+// slots ping-pong with the column index so a worker filling column i+1
+// never overwrites chunks another worker is still folding for column i
+// (the barrier of column i+1 orders any reuse of column i's slot).
+//
+//vetsparse:allocfree
+func (p *Phase) mgs(t *Team, st *phaseStep, w, lo, hi, c0, c1 int) {
+	k := *st.k
+	wv := st.dst
+	nch := p.nch
+	for i := 0; i <= k; i++ {
+		vi := st.basis[i]
+		part := p.part[i&1]
+		dotChunks(part, wv, vi, c0, c1)
+		t.phaseBarrier()
+		h := 0.0
+		for _, q := range part[:nch] {
+			h += q
+		}
+		if w == 0 {
+			st.hess[i][k] = h
+		}
+		a := -h
+		for j := lo; j < hi; j++ {
+			wv[j] += a * vi[j]
+		}
+	}
+	dotChunks(p.part[(k+1)&1], wv, wv, c0, c1)
+}
+
+// runSerial interprets the whole program on the calling goroutine:
+// the small-n / no-team fallback of RunPhase. Barriers are no-ops, every
+// other step is the full-range serial kernel, reductions fill every chunk
+// — bit-for-bit what the parallel interpretation produces.
+//
+//vetsparse:allocfree
+func (p *Phase) runSerial() {
+	n := p.n
+	nch := p.nch
+	for si := range p.steps {
+		st := &p.steps[si]
+		switch st.op {
+		case phBarrier:
+		case phCopy:
+			copy(st.dst, st.x)
+		case phUpdateP:
+			pv, r, v, beta, omega := st.dst, st.x, st.y, *st.a, *st.b
+			for i := 0; i < n; i++ {
+				pv[i] = r[i] + beta*(pv[i]-omega*v[i])
+			}
+		case phMulElem:
+			dst, d, x := st.dst, st.x, st.y
+			for i := 0; i < n; i++ {
+				dst[i] = d[i] * x[i]
+			}
+		case phMulElemAt:
+			dst, d, x := st.dst, st.x, st.basis[*st.k]
+			for i := 0; i < n; i++ {
+				dst[i] = d[i] * x[i]
+			}
+		case phAXPY:
+			y, x, a := st.dst, st.x, *st.a
+			for i := 0; i < n; i++ {
+				y[i] += a * x[i]
+			}
+		case phAXPYTo:
+			dst, y, x, a := st.dst, st.y, st.x, *st.a
+			for i := 0; i < n; i++ {
+				dst[i] = y[i] + a*x[i]
+			}
+		case phAXPY2:
+			dst, x, y, a, b := st.dst, st.x, st.y, *st.a, *st.b
+			for i := 0; i < n; i++ {
+				dst[i] += a*x[i] + b*y[i]
+			}
+		case phScaleTo:
+			dst, x, a := st.dst, st.x, *st.a
+			for i := 0; i < n; i++ {
+				dst[i] = a * x[i]
+			}
+		case phSpMV:
+			st.m.mulVecRange(st.dst, st.x, 0, st.m.Rows)
+		case phDot:
+			dotChunks(p.part[st.slot], st.x, st.y, 0, nch)
+		case phWRMS:
+			wrmsChunks(p.part[st.slot], st.x, st.y, *st.a, *st.b, 0, nch)
+		case phMGS:
+			k := *st.k
+			wv := st.dst
+			for i := 0; i <= k; i++ {
+				vi := st.basis[i]
+				part := p.part[i&1]
+				dotChunks(part, wv, vi, 0, nch)
+				h := 0.0
+				for _, q := range part[:nch] {
+					h += q
+				}
+				st.hess[i][k] = h
+				a := -h
+				for j := 0; j < n; j++ {
+					wv[j] += a * vi[j]
+				}
+			}
+			dotChunks(p.part[(k+1)&1], wv, wv, 0, nch)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tridiagOperator builds a diagonally dominant nonsymmetric tridiagonal
+// operator of arbitrary dimension n, so the fused-solver tests can pin the
+// exact redChunk boundary lengths the square grid operators cannot hit.
+func tridiagOperator(n int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i > 0 {
+			b.Add(i, i-1, -1.3)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -0.7)
+		}
+	}
+	return b.Build()
+}
+
+// phaseTestSizes are the system dimensions the fused-vs-unfused tests
+// sweep: one below, at and above a chunk boundary, a length several chunks
+// in with a ragged tail, and the kernel-suite staple 5000.
+func phaseTestSizes() []int {
+	return []int{redChunk - 1, redChunk, redChunk + 1, 3*redChunk + 17, 5000}
+}
+
+// fusedSolver runs one solver variant against (a, b) from a zero initial
+// guess and returns the solution, stats and flop count.
+type fusedSolver func(ws *Workspace, a *CSR, x, b Vector) (SolveStats, error, int64)
+
+func bicgstabSolver(ws *Workspace, a *CSR, x, b Vector) (SolveStats, error, int64) {
+	var ops Ops
+	st, err := ws.BiCGStab(a, x, b, 1e-10, 300, &ops)
+	return st, err, ops.Flops
+}
+
+func gmresSolver(ws *Workspace, a *CSR, x, b Vector) (SolveStats, error, int64) {
+	var ops Ops
+	st, err := ws.GMRES(a, x, b, 1e-10, 30, 300, &ops)
+	return st, err, ops.Flops
+}
+
+func iluSolver(ws *Workspace, a *CSR, x, b Vector) (SolveStats, error, int64) {
+	var ops Ops
+	st, err := ws.BiCGStabILU(a, x, b, 1e-10, 300, 0.125, &ops)
+	return st, err, ops.Flops
+}
+
+// testFusedMatchesUnfused is the shared body of the fused bit-identity
+// tests: for every chunk-boundary size and team width it runs the serial
+// reference (no team), the unfused parallel path (phase cut-over pushed out
+// of reach) and the fused path (cut-over at 1), and demands bitwise equal
+// solutions, identical iteration counts and residuals, and exact flop
+// parity — the full determinism contract of the phase layer.
+func testFusedMatchesUnfused(t *testing.T, solve fusedSolver) {
+	t.Helper()
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range phaseTestSizes() {
+		a := tridiagOperator(n)
+		b := randVec(rng, n)
+
+		ref := NewVector(n)
+		refWS := NewWorkspace()
+		refStats, refErr, refFlops := solve(refWS, a, ref, b)
+		if refErr != nil {
+			t.Fatalf("n=%d: serial reference failed: %v", n, refErr)
+		}
+
+		for _, size := range teamSizes {
+			for _, fused := range []bool{false, true} {
+				if fused {
+					ParMinPhase = 1
+				} else {
+					ParMinPhase = 1 << 30
+				}
+				tm := NewTeam(size)
+				ws := NewWorkspace()
+				ws.SetTeam(tm)
+				x := NewVector(n)
+				stats, err, flops := solve(ws, a, x, b)
+				tm.Close()
+				label := fmt.Sprintf("n=%d team=%d fused=%v", n, size, fused)
+				if err != nil {
+					t.Fatalf("%s: solve failed: %v", label, err)
+				}
+				checkSame(t, size, label, x, ref)
+				if stats.Iterations != refStats.Iterations {
+					t.Errorf("%s: %d iterations, serial took %d", label, stats.Iterations, refStats.Iterations)
+				}
+				if math.Float64bits(stats.Residual) != math.Float64bits(refStats.Residual) {
+					t.Errorf("%s: residual %v, serial %v (bit difference)", label, stats.Residual, refStats.Residual)
+				}
+				if flops != refFlops {
+					t.Errorf("%s: %d flops, serial charged %d", label, flops, refFlops)
+				}
+			}
+			ParMinPhase = 1
+		}
+	}
+}
+
+func TestFusedBiCGStabMatchesUnfused(t *testing.T) { testFusedMatchesUnfused(t, bicgstabSolver) }
+
+func TestFusedGMRESMatchesUnfused(t *testing.T) { testFusedMatchesUnfused(t, gmresSolver) }
+
+func TestFusedILUMatchesUnfused(t *testing.T) { testFusedMatchesUnfused(t, iluSolver) }
+
+// TestPhaseSerialFallback pins the serial interpretation RunPhase uses
+// below the cut-over (and on nil teams): reductions must reproduce the
+// chunk-ordered serial fold at exact chunk-boundary lengths.
+func TestPhaseSerialFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var tm *Team // nil team: RunPhase must interpret serially
+	for _, n := range []int{1, redChunk - 1, redChunk, redChunk + 1, 2*redChunk + 5} {
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		dst := NewVector(n)
+		alpha := 0.75
+		atol, rtol := 1e-6, 1e-4
+		var p Phase
+		p.Reset(n)
+		p.AXPYTo(dst, y, &alpha, x)
+		p.Dot(0, x, y)
+		p.WRMS(1, x, y, &atol, &rtol)
+		tm.RunPhase(&p)
+		want := NewVector(n)
+		for i := range want {
+			want[i] = y[i] + alpha*x[i]
+		}
+		checkSame(t, 1, fmt.Sprintf("serial phase AXPYTo n=%d", n), dst, want)
+		if got, wantDot := p.Fold(0), x.Dot(y, nil); got != wantDot {
+			t.Errorf("n=%d: phase Dot fold = %v, want %v", n, got, wantDot)
+		}
+		wrms := math.Sqrt(p.Fold(1) / float64(n))
+		if want := x.WRMSNorm(y, atol, rtol, nil); wrms != want {
+			t.Errorf("n=%d: phase WRMS = %v, want %v", n, wrms, want)
+		}
+	}
+}
+
+// TestFusedPhaseAllocFree asserts the fused iteration bodies stay off the
+// heap once the workspace is warm: plan rebuilding reuses the step and
+// partial arrays, and a phase dispatch passes everything through the Team
+// fields.
+func TestFusedPhaseAllocFree(t *testing.T) {
+	lowerParMins(t)
+	rng := rand.New(rand.NewSource(31))
+	const n = 8192
+	a := tridiagOperator(n)
+	b := randVec(rng, n)
+	x := NewVector(n)
+	tm := NewTeam(4)
+	defer tm.Close()
+	ws := NewWorkspace()
+	ws.SetTeam(tm)
+	solve := func() {
+		x.Fill(0)
+		if _, err := ws.BiCGStab(a, x, b, 1e-10, 300, nil); err != nil {
+			t.Fatal(err)
+		}
+		x.Fill(0)
+		if _, err := ws.GMRES(a, x, b, 1e-10, 30, 300, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // warm: grows vectors, basis, plan arrays and partials once
+	if allocs := testing.AllocsPerRun(5, solve); allocs != 0 {
+		t.Fatalf("warm fused solves allocate %v per run, want 0", allocs)
+	}
+}
+
+// TestCalibrateRespectsKnobs checks the calibration contract that a knob
+// the caller already moved off its default is never overwritten, while
+// untouched knobs do get calibrated values consistent with the report.
+func TestCalibrateRespectsKnobs(t *testing.T) {
+	savedVec, savedRed, savedRows, savedLvl, savedPh := ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase
+	t.Cleanup(func() {
+		ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase = savedVec, savedRed, savedRows, savedLvl, savedPh
+	})
+	ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase = 7, defParMinRed, defParMinRows, defParMinLevelRows, defParMinPhase
+	cal := calibrate()
+	if ParMinVec != 7 {
+		t.Errorf("calibrate overwrote an explicitly set knob: ParMinVec = %d, want 7", ParMinVec)
+	}
+	if cal.ParMinVec != 7 {
+		t.Errorf("calibration report ParMinVec = %d, want the in-effect 7", cal.ParMinVec)
+	}
+	if cal.ParMinRed != ParMinRed || cal.ParMinPhase != ParMinPhase {
+		t.Errorf("calibration report (%d, %d) disagrees with in-effect knobs (%d, %d)",
+			cal.ParMinRed, cal.ParMinPhase, ParMinRed, ParMinPhase)
+	}
+	if cal.EffectiveProcs < 2 {
+		if !cal.Sequentialized || cal.ParMinPhase != knobCeiling {
+			t.Errorf("1-proc host must sequentialize: Sequentialized=%v ParMinPhase=%d", cal.Sequentialized, cal.ParMinPhase)
+		}
+	} else {
+		if cal.Sequentialized {
+			t.Errorf("%d-proc host must not sequentialize", cal.EffectiveProcs)
+		}
+		if cal.ParMinPhase < redChunk {
+			t.Errorf("calibrated ParMinPhase = %d below one chunk", cal.ParMinPhase)
+		}
+	}
+	if cal.ElemNs <= 0 {
+		t.Errorf("ElemNs = %v, want > 0", cal.ElemNs)
+	}
+}
+
+// BenchmarkTeamDispatch compares the dispatch tax of an unfused four-op
+// sequence (four wake/park round-trips) against the same work as one fused
+// phase (a single round-trip): the headline number of the fused-phase
+// layer. The phase cut-overs are forced low so the team paths run even
+// when a calibrated process would sequentialize.
+func BenchmarkTeamDispatch(b *testing.B) {
+	savedVec, savedRed, savedPh := ParMinVec, ParMinRed, ParMinPhase
+	ParMinVec, ParMinRed, ParMinPhase = 1, 1, 1
+	b.Cleanup(func() { ParMinVec, ParMinRed, ParMinPhase = savedVec, savedRed, savedPh })
+	const n = 1 << 14
+	rng := rand.New(rand.NewSource(37))
+	x := randVec(rng, n)
+	y := randVec(rng, n)
+	d := randVec(rng, n)
+	dst := NewVector(n)
+	alpha := 0.5
+	for _, size := range []int{2, 4} {
+		b.Run(fmt.Sprintf("unfused/team=%d", size), func(b *testing.B) {
+			tm := NewTeam(size)
+			defer tm.Close()
+			b.ReportAllocs()
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				tm.Copy(dst, x)
+				tm.AXPY(dst, alpha, y, nil)
+				tm.MulElem(dst, d, dst, nil)
+				sink += tm.Dot(dst, y, nil)
+			}
+			benchSink = sink
+		})
+		b.Run(fmt.Sprintf("fused/team=%d", size), func(b *testing.B) {
+			tm := NewTeam(size)
+			defer tm.Close()
+			var p Phase
+			p.Reset(n)
+			p.Copy(dst, x)
+			p.AXPY(dst, &alpha, y)
+			p.MulElem(dst, d, dst)
+			p.Dot(0, dst, y)
+			b.ReportAllocs()
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				tm.RunPhase(&p)
+				sink += p.Fold(0)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink float64

@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,23 +23,33 @@ const MaxTeam = 64
 // dispatch (a few microseconds) exceeds the work, so the Team runs the
 // serial kernel inline. They are exported tuning knobs — results are
 // bit-for-bit identical either way, so tests lower them to exercise the
-// parallel paths on small problems.
+// parallel paths on small problems. The defaults are conservative
+// hand-set values; Calibrate replaces them with measured break-evens for
+// the actual host (and pushes them out of reach entirely on hosts that
+// cannot run team members in parallel).
 var (
 	// ParMinVec is the smallest vector length worth a parallel
 	// elementwise kernel (axpy, scale, copy, fused updates).
-	ParMinVec = 8192
+	ParMinVec = defParMinVec
 	// ParMinRed is the smallest vector length worth a parallel
 	// dot/norm reduction.
-	ParMinRed = 8192
+	ParMinRed = defParMinRed
 	// ParMinRows is the smallest row count worth a parallel SpMV or
 	// shifted-operator value rewrite.
-	ParMinRows = 2048
+	ParMinRows = defParMinRows
 )
 
 // ImbalanceObserver receives one per-dispatch load-imbalance measurement in
 // microseconds (slowest minus fastest worker busy time). It is satisfied by
 // *obs.Histogram without linalg importing the obs package.
 type ImbalanceObserver interface{ Observe(us int64) }
+
+// PhaseObserver receives one measurement per fused-phase dispatch: the
+// wall-clock microseconds of the whole wake-execute-park cycle and the
+// number of in-phase barriers it crossed. Wired to the obs metrics
+// "linalg.team.phase.us" and "linalg.team.phase.barriers" by the solver
+// driver without linalg importing the obs package.
+type PhaseObserver interface{ ObservePhase(us, barriers int64) }
 
 // kernelOp selects the kernel the worker goroutines execute on the next
 // dispatch. Arguments travel through Team fields, not closures, so a
@@ -62,7 +74,18 @@ const (
 	opILUFwd
 	opILUBwd
 	opRun
+	opPhase
 )
+
+// spinBudget bounds how many atomic-load iterations a worker (or the
+// kicking leader) spins before parking on its wake channel. At roughly a
+// nanosecond per iteration the budget covers the gap between consecutive
+// fused-phase dispatches of a solver iteration, so in a phase-sized hot
+// loop the team stays on its cores and a dispatch costs two cache misses
+// instead of two scheduler round-trips. Spinning is enabled only when the
+// host has a core per team member (see NewTeam); otherwise it would steal
+// cycles from the very workers it waits for.
+const spinBudget = 4096
 
 // Team is a persistent chunked worker team: a fixed set of goroutines,
 // created once and reused for every kernel dispatch, that parallelize the
@@ -82,15 +105,38 @@ const (
 // should create one team per worker goroutine and keep it for the whole
 // computation (no per-call spawn).
 type Team struct {
-	n     int
-	start []chan struct{} // per-worker dispatch signals (workers 1..n-1)
-	done  chan struct{}   // completion signals
+	n int
+
+	// Spin-then-park dispatch state. epoch is the dispatch generation —
+	// the single ground truth workers wait on; the wake channels carry
+	// purely advisory tokens for parked goroutines, so a stale or
+	// spurious token never corrupts a dispatch (the receiver re-checks
+	// epoch and goes back to waiting). remaining counts workers that
+	// have not finished the current dispatch; the last one to decrement
+	// it wakes the leader if it parked. The parked / leaderParked flags
+	// and the epoch / remaining counters form store-then-load pairs on
+	// both sides (Dekker-style, all Go atomics are sequentially
+	// consistent), so a waiter is woken or sees the state change itself
+	// — never neither.
+	epoch        atomic.Uint64
+	remaining    atomic.Int32
+	parked       []atomic.Int32  // workers 1..n-1: 1 while (about to be) parked
+	wake         []chan struct{} // cap-1 advisory wake tokens, workers 1..n-1
+	leaderParked atomic.Int32
+	leaderWake   chan struct{}
+	stop         atomic.Int32
+	spin         int // spin iterations before parking; 0 = park immediately
+
+	// In-phase barrier (sense-reversing, reused across barriers).
+	barGen    atomic.Uint32
+	barArrive atomic.Int32
 
 	// Kernel dispatch arguments, set by the public methods before kick.
 	op          kernelOp
 	m           *CSR
 	so          *ShiftedOperator
 	f           *ILU0
+	ph          *Phase
 	x, y, z, d  Vector
 	alpha, beta float64
 	partial     []float64
@@ -98,6 +144,7 @@ type Team struct {
 	runFn       func(lo, hi int)
 
 	obs      ImbalanceObserver
+	pobs     PhaseObserver
 	workerUs [MaxTeam]int64
 	closed   bool
 }
@@ -114,10 +161,21 @@ func NewTeam(n int) *Team {
 	}
 	t := &Team{n: n}
 	if n > 1 {
-		t.start = make([]chan struct{}, n)
-		t.done = make(chan struct{}, n)
+		t.parked = make([]atomic.Int32, n)
+		t.wake = make([]chan struct{}, n)
+		t.leaderWake = make(chan struct{}, 1)
+		// Spin only when the host can actually run every team member at
+		// once; an oversubscribed team must park immediately so the
+		// scheduler can run the workers the leader is waiting for.
+		procs := runtime.GOMAXPROCS(0)
+		if c := runtime.NumCPU(); c < procs {
+			procs = c
+		}
+		if procs >= n {
+			t.spin = spinBudget
+		}
 		for w := 1; w < n; w++ {
-			t.start[w] = make(chan struct{}, 1)
+			t.wake[w] = make(chan struct{}, 1)
 			go t.worker(w)
 		}
 	}
@@ -141,6 +199,16 @@ func (t *Team) SetObserver(o ImbalanceObserver) {
 	}
 }
 
+// SetPhaseObserver installs a fused-phase observer: every RunPhase
+// dispatch that actually runs on the team reports its wall-clock cost and
+// barrier count. A nil observer (the default) costs nothing — no
+// timestamps are taken.
+func (t *Team) SetPhaseObserver(o PhaseObserver) {
+	if t != nil {
+		t.pobs = o
+	}
+}
+
 // Close stops the worker goroutines. The team must be idle; after Close
 // the kernels still work, executing serially.
 func (t *Team) Close() {
@@ -148,8 +216,15 @@ func (t *Team) Close() {
 		return
 	}
 	t.closed = true
+	t.stop.Store(1)
+	t.epoch.Add(1)
 	for w := 1; w < t.n; w++ {
-		close(t.start[w])
+		if t.parked[w].Load() != 0 {
+			select {
+			case t.wake[w] <- struct{}{}:
+			default:
+			}
+		}
 	}
 	t.n = 1
 }
@@ -159,22 +234,99 @@ func (t *Team) seq() bool { return t == nil || t.n <= 1 }
 
 //vetsparse:allocfree
 func (t *Team) worker(w int) {
-	for range t.start[w] {
+	last := uint64(0)
+	for {
+		last = t.await(w, last)
+		if t.stop.Load() != 0 {
+			return
+		}
 		t.exec(w)
-		t.done <- struct{}{}
+		if t.remaining.Add(-1) == 0 && t.leaderParked.Load() != 0 {
+			select {
+			case t.leaderWake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// await blocks worker w until a dispatch newer than last arrives: a
+// bounded spin on the epoch counter (when the worker has a core to spin
+// on), then a park on the wake channel. The parked flag and the epoch
+// re-check before blocking close the race against a concurrent kick; any
+// token received is advisory and the epoch is re-checked after it.
+//
+//vetsparse:allocfree
+func (t *Team) await(w int, last uint64) uint64 {
+	for i := 0; i < t.spin; i++ {
+		if e := t.epoch.Load(); e != last {
+			return e
+		}
+	}
+	for {
+		t.parked[w].Store(1)
+		if e := t.epoch.Load(); e != last {
+			t.parked[w].Store(0)
+			return e
+		}
+		<-t.wake[w]
+		t.parked[w].Store(0)
+		if e := t.epoch.Load(); e != last {
+			return e
+		}
+	}
+}
+
+// phaseBarrier blocks until every team member arrives: the in-phase
+// synchronization point of fused micro-programs. Sense-reversing on a
+// generation counter, so the one barrier instance is reused any number of
+// times per dispatch with no teardown.
+//
+//vetsparse:allocfree
+func (t *Team) phaseBarrier() {
+	g := t.barGen.Load()
+	if t.barArrive.Add(1) == int32(t.n) {
+		t.barArrive.Store(0)
+		t.barGen.Add(1)
+		return
+	}
+	for i := 1; t.barGen.Load() == g; i++ {
+		if t.spin == 0 || i%spinBudget == 0 {
+			runtime.Gosched()
+		}
 	}
 }
 
 // kick runs the prepared kernel on all workers and waits for completion.
+// The wake side is batched: one epoch increment publishes the dispatch to
+// every spinning worker at once, and only actually-parked workers cost a
+// channel send. The join side is the mirror: the leader spins on the
+// remaining counter, parking only when the workers outlast its budget.
 //
 //vetsparse:allocfree
 func (t *Team) kick() {
+	t.remaining.Store(int32(t.n - 1))
+	t.epoch.Add(1)
 	for w := 1; w < t.n; w++ {
-		t.start[w] <- struct{}{}
+		if t.parked[w].Load() != 0 {
+			select {
+			case t.wake[w] <- struct{}{}:
+			default:
+			}
+		}
 	}
 	t.exec(0)
-	for w := 1; w < t.n; w++ {
-		<-t.done
+	if t.remaining.Load() != 0 {
+		for i := 0; i < t.spin && t.remaining.Load() != 0; i++ {
+		}
+		for t.remaining.Load() != 0 {
+			t.leaderParked.Store(1)
+			if t.remaining.Load() == 0 {
+				break
+			}
+			<-t.leaderWake
+		}
+		t.leaderParked.Store(0)
 	}
 	if t.obs != nil {
 		min, max := t.workerUs[0], t.workerUs[0]
@@ -256,6 +408,8 @@ func (t *Team) exec(w int) {
 		t.f.backwardRows(t.x, lo, hi)
 	case opRun:
 		t.runFn(lo, hi)
+	case opPhase:
+		t.ph.exec(t, w)
 	}
 	if t.obs != nil {
 		//vetsparse:ignore determinism metrics-only imbalance timing; never feeds float results
@@ -275,6 +429,53 @@ func (t *Team) splitRange(lo, hi int) {
 	n := hi - lo
 	for w := 0; w <= t.n; w++ {
 		t.split[w] = lo + w*n/t.n
+	}
+}
+
+// splitChunkAligned partitions [0, n) into t.n contiguous ranges whose
+// boundaries fall on redChunk multiples, distributing whole chunks evenly.
+// With element ranges and reduction chunks coinciding, a fused phase's
+// reduction reads exactly the elements the same worker's elementwise steps
+// just wrote — no barrier needed between them. Workers beyond the chunk
+// count get empty ranges (they still participate in phase barriers).
+//
+//vetsparse:allocfree
+func (t *Team) splitChunkAligned(n int) {
+	nch := (n + redChunk - 1) / redChunk
+	for w := 0; w <= t.n; w++ {
+		b := w * nch / t.n * redChunk
+		if b > n {
+			b = n
+		}
+		t.split[w] = b
+	}
+}
+
+// RunPhase executes the fused micro-program p in one dispatch: a single
+// wake/park cycle covers every step, with in-phase barriers only where a
+// step reads outside its worker's range. Sequential teams and phases below
+// ParMinPhase interpret the program serially inline — bit-for-bit the same
+// result either way.
+//
+//vetsparse:allocfree
+func (t *Team) RunPhase(p *Phase) {
+	if t.seq() || p.n < ParMinPhase {
+		p.runSerial()
+		return
+	}
+	var t0 time.Time
+	if t.pobs != nil {
+		//vetsparse:ignore determinism metrics-only phase timing; never feeds float results
+		t0 = time.Now()
+	}
+	t.ph = p
+	t.op = opPhase
+	t.splitChunkAligned(p.n)
+	t.kick()
+	t.ph = nil
+	if t.pobs != nil {
+		//vetsparse:ignore determinism metrics-only phase timing; never feeds float results
+		t.pobs.ObservePhase(time.Since(t0).Microseconds(), p.barrierCount())
 	}
 }
 

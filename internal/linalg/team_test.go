@@ -11,10 +11,10 @@ import (
 // the defaults on cleanup.
 func lowerParMins(t *testing.T) {
 	t.Helper()
-	savedVec, savedRed, savedRows, savedLvl := ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows
-	ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows = 1, 1, 1, 1
+	savedVec, savedRed, savedRows, savedLvl, savedPh := ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase
+	ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase = 1, 1, 1, 1, 1
 	t.Cleanup(func() {
-		ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+		ParMinVec, ParMinRed, ParMinRows, ParMinLevelRows, ParMinPhase = savedVec, savedRed, savedRows, savedLvl, savedPh
 	})
 }
 

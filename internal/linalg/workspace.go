@@ -30,7 +30,29 @@ type Workspace struct {
 	// team, when non-nil, parallelizes the solver kernels across its
 	// workers. Results are bit-for-bit identical with any team (or none).
 	team *Team
+
+	// Fused-phase plans of the solver iteration bodies, rebuilt at each
+	// solve entry (cheap; backing arrays are reused so steady-state
+	// rebuilding allocates nothing) because ensure* may have re-sliced
+	// the vectors they bind.
+	phP1, phP, phS, phT, phX Phase // Jacobi BiCGStab
+	phAv, phAt               Phase // ILU BiCGStab matvec+dot phases
+	phArn                    Phase // GMRES Arnoldi step
+	sc                       [scCount]float64
+	karn                     int // current Arnoldi column, bound into phArn
 }
+
+// Scalar slots the fused plans read through pointers; the solver loops
+// store into them right before each dispatch.
+const (
+	scBeta = iota
+	scOmegaPrev
+	scNegAlpha
+	scAlpha
+	scOmega
+	scNegOmega
+	scCount
+)
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
@@ -99,6 +121,80 @@ func (ws *Workspace) ensureGMRES(n, m int) {
 	ws.sn = growF(ws.sn, m)
 	ws.g = growF(ws.g, m+1)
 	ws.y = growF(ws.y, m)
+}
+
+// fusedOK reports whether a solve of dimension n should run its fused
+// iteration body: a real team is attached and the system clears the
+// phase cut-over.
+func (ws *Workspace) fusedOK(n int) bool {
+	return !ws.team.seq() && n >= ParMinPhase
+}
+
+// buildBiCGStabPhases (re)binds the fused BiCGStab iteration phases to the
+// workspace vectors and the caller's solution vector. The Jacobi variant
+// fuses a whole iteration into four dispatches; the ILU variant keeps the
+// p-update and triangular solves as separate (level-scheduled) dispatches
+// and fuses the matvec+reduction tails. Barriers appear exactly before the
+// SpMV steps whose input was written earlier in the same phase.
+func (ws *Workspace) buildBiCGStabPhases(a *CSR, x Vector, withILU bool) {
+	n := len(ws.r)
+	sc := &ws.sc
+	if withILU {
+		av := &ws.phAv
+		av.Reset(n)
+		av.MulVec(a, ws.v, ws.pHat) // pHat written pre-dispatch: no barrier
+		av.Dot(0, ws.rTilde, ws.v)
+		at := &ws.phAt
+		at.Reset(n)
+		at.MulVec(a, ws.t, ws.sHat)
+		at.Dot(0, ws.t, ws.t)
+		at.Dot(1, ws.t, ws.s)
+	} else {
+		p1 := &ws.phP1 // first iteration: p = r instead of the p-update
+		p1.Reset(n)
+		p1.Copy(ws.p, ws.r)
+		p1.MulElem(ws.pHat, ws.invD, ws.p)
+		p1.Barrier() // SpMV reads all of pHat
+		p1.MulVec(a, ws.v, ws.pHat)
+		p1.Dot(0, ws.rTilde, ws.v)
+		pp := &ws.phP
+		pp.Reset(n)
+		pp.UpdateP(ws.p, ws.r, ws.v, &sc[scBeta], &sc[scOmegaPrev])
+		pp.MulElem(ws.pHat, ws.invD, ws.p)
+		pp.Barrier()
+		pp.MulVec(a, ws.v, ws.pHat)
+		pp.Dot(0, ws.rTilde, ws.v)
+		tt := &ws.phT
+		tt.Reset(n)
+		tt.MulElem(ws.sHat, ws.invD, ws.s)
+		tt.Barrier()
+		tt.MulVec(a, ws.t, ws.sHat)
+		tt.Dot(0, ws.t, ws.t)
+		tt.Dot(1, ws.t, ws.s)
+	}
+	sp := &ws.phS
+	sp.Reset(n)
+	sp.AXPYTo(ws.s, ws.r, &sc[scNegAlpha], ws.v)
+	sp.Dot(0, ws.s, ws.s)
+	xp := &ws.phX
+	xp.Reset(n)
+	xp.AXPY2(x, &sc[scAlpha], ws.pHat, &sc[scOmega], ws.sHat)
+	xp.AXPYTo(ws.r, ws.s, &sc[scNegOmega], ws.t)
+	xp.Dot(0, ws.r, ws.r)
+	xp.Dot(1, ws.rTilde, ws.r) // next iteration's rho, one dispatch early
+}
+
+// buildArnoldiPhase (re)binds the fused GMRES Arnoldi step: preconditioner
+// application, SpMV, and the full modified Gram-Schmidt sweep against the
+// Krylov basis in one dispatch, with ws.karn selecting the column.
+func (ws *Workspace) buildArnoldiPhase(a *CSR) {
+	n := len(ws.w)
+	ph := &ws.phArn
+	ph.Reset(n)
+	ph.MulElemAt(ws.z, ws.invD, ws.basis, &ws.karn)
+	ph.Barrier() // SpMV reads all of z
+	ph.MulVec(a, ws.w, ws.z)
+	ph.MGS(ws.w, ws.basis, ws.hess, &ws.karn)
 }
 
 // ILUFor returns the ILU(0) factorization of a, reusing the cached factors

@@ -66,6 +66,8 @@ var MetricDocs = []MetricDoc{
 	{"core.job.attempt.us", "histogram", "dispatch-to-accepted-result latency per job"},
 	{"core.jobs.outstanding", "gauge", "jobs submitted but not yet resolved"},
 	{"linalg.team.imbalance.us", "histogram", "per-dispatch spread between first and last finishing team worker"},
+	{"linalg.team.phase.us", "histogram", "wall-clock cost of one fused-phase dispatch (wake, micro-program, park)"},
+	{"linalg.team.phase.barriers", "counter", "in-phase barriers crossed by fused-phase dispatches"},
 	{"solver.subsolve.<grid>.cores", "histogram", "team size used per subsolve of the grid"},
 	{"solver.subsolve.<grid>.us", "histogram", "per-grid subsolve duration, e.g. `solver.subsolve.grid(1,2;root=2).us`"},
 }

@@ -105,7 +105,26 @@ type Workspace struct {
 	// op is the cached shifted operator I - s*J; rebuilt only when the
 	// integration targets a different Jacobian.
 	op *linalg.ShiftedOperator
+
+	// Fused-phase plans of the stepper's own vector work (stage-2
+	// preparation, stage-2 right-hand side, and the stage combination +
+	// WRMS error norm), rebuilt by NewStepper after ensure may have
+	// re-sliced the vectors they bind. psc holds the scalars the plans
+	// read through pointers.
+	phPrep, phRhs2, phComb linalg.Phase
+	psc                    [pscCount]float64
 }
+
+// Scalar slots of the stepper's fused phases.
+const (
+	pscTau = iota
+	psc15Tau
+	pscHalfTau
+	pscOne
+	pscNeg2
+	pscTol
+	pscCount
+)
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
@@ -154,6 +173,35 @@ func (w *Workspace) ensure(n int, jac *linalg.CSR) {
 	if w.op == nil || w.op.A() != jac {
 		w.op = linalg.NewShiftedOperator(jac)
 	}
+}
+
+// buildStepPhases (re)binds the stepper's fused phases to the stage
+// vectors and the caller's solution vector u. All three phases are purely
+// elementwise (the WRMS reduction reads only the worker's own chunks), so
+// none of them crosses a barrier: one dispatch replaces the whole unfused
+// op sequence.
+func (w *Workspace) buildStepPhases(u linalg.Vector, tol float64) {
+	n := len(u)
+	sc := &w.psc
+	sc[pscOne] = 1
+	sc[pscNeg2] = -2
+	sc[pscTol] = tol
+	p := &w.phPrep // u1 = u + tau*k1
+	p.Reset(n)
+	p.Copy(w.u1, u)
+	p.AXPY(w.u1, &sc[pscTau], w.k1)
+	r := &w.phRhs2 // f2 -= 2*k1; k2 = f2 (stage-2 rhs and initial guess)
+	r.Reset(n)
+	r.AXPY(w.f2, &sc[pscNeg2], w.k1)
+	r.Copy(w.k2, w.f2)
+	c := &w.phComb // uNew, est, and the WRMS partials in one dispatch
+	c.Reset(n)
+	c.Copy(w.uNew, u)
+	c.AXPY(w.uNew, &sc[psc15Tau], w.k1)
+	c.AXPY(w.uNew, &sc[pscHalfTau], w.k2)
+	c.AXPYTo(w.est, w.k1, &sc[pscOne], w.k2)
+	c.ScaleTo(w.est, &sc[pscHalfTau], w.est)
+	c.WRMS(0, w.est, u, &sc[pscTol], &sc[pscTol])
 }
 
 // solve dispatches one stage system to the configured solver, pooling all
@@ -244,6 +292,7 @@ func NewStepper(sys System, u linalg.Vector, t0, t1 float64, cfg Config) (*Stepp
 		s.ws = NewWorkspace()
 	}
 	s.ws.ensure(n, sys.Jacobian())
+	s.ws.buildStepPhases(u, cfg.Tol)
 	if ts, ok := sys.(TeamSystem); ok {
 		ts.SetTeam(s.ws.Team())
 	}
@@ -277,6 +326,11 @@ func (s *Stepper) Step() error {
 	ws := s.ws
 	tm := ws.Team()
 	u := s.u
+	// The stepper's own vector work runs as three fused phases (one team
+	// dispatch each, zero barriers) when a real team is attached and the
+	// system clears the phase cut-over; results are bit-for-bit identical
+	// to the unfused op sequence either way.
+	fused := tm.Size() > 1 && len(u) >= linalg.ParMinPhase
 
 	tau := math.Min(s.h, s.t1-s.t)
 	// M = I - gamma*tau*J: an in-place value rewrite of the cached
@@ -295,12 +349,23 @@ func (s *Stepper) Step() error {
 	}
 
 	// Stage 2: M k2 = F(t+tau, u + tau*k1) - 2 k1.
-	tm.Copy(ws.u1, u)
-	tm.AXPY(ws.u1, tau, ws.k1, ops)
+	if fused {
+		ws.psc[pscTau] = tau
+		tm.RunPhase(&ws.phPrep)
+		ops.Add(ws.phPrep.Flops())
+	} else {
+		tm.Copy(ws.u1, u)
+		tm.AXPY(ws.u1, tau, ws.k1, ops)
+	}
 	s.sys.F(s.t+tau, ws.u1, ws.f2, ops)
 	s.st.FEvals++
-	tm.AXPY(ws.f2, -2, ws.k1, ops)
-	tm.Copy(ws.k2, ws.f2)
+	if fused {
+		tm.RunPhase(&ws.phRhs2)
+		ops.Add(ws.phRhs2.Flops())
+	} else {
+		tm.AXPY(ws.f2, -2, ws.k1, ops)
+		tm.Copy(ws.k2, ws.f2)
+	}
 	s2, err := s.cfg.solve(ws, m, ws.k2, ws.f2, s.linTol, key, ops)
 	s.st.LinIters += s2.Iterations
 	if err != nil {
@@ -309,16 +374,24 @@ func (s *Stepper) Step() error {
 
 	// Candidate solution and embedded error estimate:
 	// u_{n+1} = u + 1.5 tau k1 + 0.5 tau k2; est = (tau/2)(k1 + k2).
-	tm.Copy(ws.uNew, u)
-	tm.AXPY(ws.uNew, 1.5*tau, ws.k1, ops)
-	tm.AXPY(ws.uNew, 0.5*tau, ws.k2, ops)
-	// est = (0.5 tau)(k1 + 1*k2), fused ops bit-identical to the direct
-	// expression (1*x is exact, and Go associates 0.5*tau*(...) leftward).
-	tm.AXPYTo(ws.est, ws.k1, 1, ws.k2, nil)
-	tm.ScaleTo(ws.est, 0.5*tau, ws.est, nil)
-	ops.Add(3 * int64(len(u)))
-
-	errNorm := tm.WRMSNorm(ws.est, u, s.cfg.Tol, s.cfg.Tol, ops)
+	var errNorm float64
+	if fused {
+		ws.psc[psc15Tau] = 1.5 * tau
+		ws.psc[pscHalfTau] = 0.5 * tau
+		tm.RunPhase(&ws.phComb)
+		ops.Add(ws.phComb.Flops())
+		errNorm = math.Sqrt(ws.phComb.Fold(0) / float64(len(u)))
+	} else {
+		tm.Copy(ws.uNew, u)
+		tm.AXPY(ws.uNew, 1.5*tau, ws.k1, ops)
+		tm.AXPY(ws.uNew, 0.5*tau, ws.k2, ops)
+		// est = (0.5 tau)(k1 + 1*k2), fused ops bit-identical to the direct
+		// expression (1*x is exact, and Go associates 0.5*tau*(...) leftward).
+		tm.AXPYTo(ws.est, ws.k1, 1, ws.k2, nil)
+		tm.ScaleTo(ws.est, 0.5*tau, ws.est, nil)
+		ops.Add(3 * int64(len(u)))
+		errNorm = tm.WRMSNorm(ws.est, u, s.cfg.Tol, s.cfg.Tol, ops)
+	}
 	if errNorm <= 1 {
 		tm.Copy(u, ws.uNew)
 		s.t += tau

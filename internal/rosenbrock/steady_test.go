@@ -97,10 +97,10 @@ func TestStepAllocFree(t *testing.T) {
 // a test and restores them on cleanup.
 func lowerParMins(t *testing.T) {
 	t.Helper()
-	savedVec, savedRed, savedRows, savedLvl := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows
-	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = 1, 1, 1, 1
+	savedVec, savedRed, savedRows, savedLvl, savedPh := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase
+	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase = 1, 1, 1, 1, 1
 	t.Cleanup(func() {
-		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase = savedVec, savedRed, savedRows, savedLvl, savedPh
 	})
 }
 
@@ -113,6 +113,11 @@ func lowerParMins(t *testing.T) {
 // GOMAXPROCS; on a single-core host the >1 rows only pay dispatch
 // overhead).
 func BenchmarkSubsolveSteady(b *testing.B) {
+	// Calibrate the parallel cut-overs against this host first, exactly as
+	// the real binaries do: on a host that cannot run team members
+	// concurrently the >1-core rows honestly sequentialize instead of
+	// paying dispatch overhead for nothing.
+	linalg.Calibrate()
 	for _, lin := range []rosenbrock.LinearSolver{rosenbrock.BiCGStab, rosenbrock.GMRES, rosenbrock.ILU} {
 		for _, cores := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%v/cores=%d", lin, cores), func(b *testing.B) {

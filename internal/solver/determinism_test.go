@@ -16,10 +16,10 @@ import (
 // afford, and restores the defaults on cleanup.
 func lowerParMins(t *testing.T) {
 	t.Helper()
-	savedVec, savedRed, savedRows, savedLvl := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows
-	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = 1, 1, 1, 1
+	savedVec, savedRed, savedRows, savedLvl, savedPh := linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase
+	linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase = 1, 1, 1, 1, 1
 	t.Cleanup(func() {
-		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows = savedVec, savedRed, savedRows, savedLvl
+		linalg.ParMinVec, linalg.ParMinRed, linalg.ParMinRows, linalg.ParMinLevelRows, linalg.ParMinPhase = savedVec, savedRed, savedRows, savedLvl, savedPh
 	})
 }
 

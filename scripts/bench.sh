@@ -23,9 +23,9 @@ if [ "${1:-}" = "--json" ]; then
 fi
 
 run_benches() {
-    echo "## linalg kernels (assembly vs in-place update, SpMV)"
+    echo "## linalg kernels (assembly vs in-place update, SpMV, team dispatch)"
     go test -run XXX \
-        -bench 'BenchmarkShifted|BenchmarkMulVec|BenchmarkBuilderBuild' \
+        -bench 'BenchmarkShifted|BenchmarkMulVec|BenchmarkBuilderBuild|BenchmarkTeamDispatch' \
         -benchmem "$@" ./internal/linalg/
 
     echo
@@ -34,6 +34,14 @@ run_benches() {
         -bench 'BenchmarkSubsolveSteady|BenchmarkIntegrateWorkspaceReuse' \
         -benchmem "$@" ./internal/rosenbrock/
 }
+
+hostcpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$hostcpus" -le 1 ]; then
+    echo "WARNING: this host exposes only 1 CPU — the >1-core benchmark rows" >&2
+    echo "WARNING: measure dispatch overhead, not scaling; calibration will" >&2
+    echo "WARNING: sequentialize the team kernels. Use a multi-core runner" >&2
+    echo "WARNING: (CI pins GOMAXPROCS=4) for real strong-scaling numbers." >&2
+fi
 
 if [ -z "$json" ]; then
     run_benches "$@"
@@ -62,13 +70,14 @@ $1 ~ /^Benchmark/ {
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 4,\n"
+    printf "  \"pr\": 5,\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"host_cpus\": %d,\n", hostcpus
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
     printf "  ]\n"
     printf "}\n"
-}' goversion="$(go env GOVERSION)" hostcpus="$(nproc 2>/dev/null || echo 1)" "$out" > "$json"
+}' goversion="$(go env GOVERSION)" hostcpus="$hostcpus" gomaxprocs="${GOMAXPROCS:-$hostcpus}" "$out" > "$json"
 echo
 echo "wrote $json"
