@@ -53,6 +53,7 @@ func run() int {
 		faults   = flag.String("faults", "", "worker fault injection spec, e.g. 'seed=42,panic=0.2,panicpre=0.1,hang=0.1,corrupt=0.1,hangfor=2s' (concurrent mode)")
 		retries  = flag.Int("retries", 2, "per-job retry budget of the concurrent mode")
 		ddl      = flag.Duration("worker-deadline", 10*time.Second, "how long the master waits for one worker before abandoning it (0 = forever)")
+		backoff  = flag.Duration("retry-backoff", 0, "base delay of the seeded exponential retry backoff (0 = retry immediately)")
 		budget   = flag.Int("failure-budget", 0, "total failed worker attempts tolerated per concurrent run (0 = unlimited)")
 		traceOut = flag.String("trace", "", "write the run's events as a paper-style (§6) chronological trace to this file ('-' = stdout)")
 		timeline = flag.String("timeline", "", "write the run's events as a JSON-lines timeline to this file ('-' = stdout)")
@@ -113,6 +114,9 @@ func run() int {
 		Fallback:       true,
 		Obs:            rec,
 		CoresPerWorker: *cpw,
+	}
+	if *backoff > 0 {
+		p.Backoff = core.NewBackoff(1, *backoff, 0)
 	}
 	if *faults != "" {
 		inj, err := core.ParseFaultSpec(*faults)

@@ -36,8 +36,13 @@ var Analyzer = &analysis.Analyzer{
 var scopedPkgs = map[string]bool{"core": true, "manifold": true}
 
 // deadlineMethods are the two-result deadline reads whose final result
-// (error or ok) must be consumed.
-var deadlineMethods = map[string]bool{"ReadWithin": true, "ReadResultWithin": true, "WaitWithin": true}
+// (error or ok) must be consumed. The *Until variants are the
+// absolute-deadline forms used when a request deadline propagates through
+// layers (serve → pool → port).
+var deadlineMethods = map[string]bool{
+	"ReadWithin": true, "ReadResultWithin": true, "WaitWithin": true,
+	"ReadUntil": true, "ReadResultUntil": true,
+}
 
 // eventCalls are the method names accepted as handling an envelope that a
 // select branch would otherwise drop: observability emission or the

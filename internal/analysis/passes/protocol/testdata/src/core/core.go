@@ -12,6 +12,9 @@ type Port struct{}
 // ReadWithin mimics the manifold deadline read: (value, error).
 func (p *Port) ReadWithin(d time.Duration) (Unit, error) { return Unit{}, nil }
 
+// ReadUntil mimics the absolute-deadline read: (value, error).
+func (p *Port) ReadUntil(t time.Time) (Unit, error) { return Unit{}, nil }
+
 type Occurrence struct{ Name string }
 
 type Process struct{}
@@ -35,6 +38,18 @@ func deadlineReads(port *Port, proc *Process) {
 	v, err := port.ReadWithin(time.Second)
 	if err == nil {
 		sinkUnit(v)
+	}
+
+	// The absolute-deadline form a propagated request deadline arrives in
+	// is held to the same discipline.
+	port.ReadUntil(time.Now()) // want `result of ReadUntil dropped`
+
+	w, _ := port.ReadUntil(time.Now()) // want `error of ReadUntil assigned to _`
+	sinkUnit(w)
+
+	x, uerr := port.ReadUntil(time.Now())
+	if uerr == nil {
+		sinkUnit(x)
 	}
 
 	occ, _ := proc.WaitWithin(time.Second, "finished") // want `ok of WaitWithin assigned to _`
@@ -94,6 +109,21 @@ func pump(jobs chan jobEnvelope, results chan resultEnvelope, done chan struct{}
 		case env := <-jobs:
 			dispatch(env)
 		case <-results: // want `select branch drops a resultEnvelope`
+		case <-done:
+			return
+		}
+	}
+}
+
+func (p *pool) fail(env resultEnvelope) {}
+
+// retryPump models the backoff-retry collect loop: an envelope routed into
+// the pool's failure bookkeeping is handled, not dropped.
+func retryPump(results chan resultEnvelope, done chan struct{}, p *pool) {
+	for {
+		select {
+		case env := <-results:
+			p.fail(env)
 		case <-done:
 			return
 		}

@@ -1,0 +1,92 @@
+// Seeded, jittered exponential backoff for retry pacing.
+//
+// The Pool used to resubmit a failed job to a fresh worker immediately,
+// which is exactly wrong under real failure causes: a retry storm against
+// an overloaded or flapping resource amplifies the overload. A Backoff
+// spaces the attempts out exponentially with bounded jitter, and — like
+// the FaultInjector — it is seeded, so a test seed reproduces the same
+// delay sequence every run.
+
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: attempt n (1-based)
+// waits a duration drawn uniformly from [exp/2, exp] where exp is
+// Base·2^(n-1) clamped to Max. Draws come from a seeded source, so the
+// delay sequence is deterministic for a given seed and draw order. A nil
+// *Backoff is a valid no-op that always returns zero delay.
+type Backoff struct {
+	mu   sync.Mutex
+	base time.Duration
+	max  time.Duration
+	rng  *rand.Rand
+}
+
+// Defaults used by NewBackoff when base or max are non-positive.
+const (
+	// DefaultBackoffBase is the first-attempt delay ceiling.
+	DefaultBackoffBase = 5 * time.Millisecond
+	// DefaultBackoffMax caps the exponential growth.
+	DefaultBackoffMax = 500 * time.Millisecond
+)
+
+// NewBackoff returns a seeded backoff policy with the given base and cap
+// (non-positive values take the defaults; a max below base is raised to
+// base).
+func NewBackoff(seed int64, base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the pause before retry attempt n (1-based): the jittered
+// exponential described on Backoff. Attempts below 1 are treated as 1.
+// Safe from any goroutine; zero on a nil Backoff.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if b == nil {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	exp := b.base
+	for i := 1; i < attempt && exp < b.max; i++ {
+		exp *= 2
+	}
+	if exp > b.max {
+		exp = b.max
+	}
+	half := exp / 2
+	b.mu.Lock()
+	jitter := time.Duration(b.rng.Int63n(int64(half) + 1))
+	b.mu.Unlock()
+	return half + jitter
+}
+
+// Base returns the configured first-attempt delay ceiling (0 for nil).
+func (b *Backoff) Base() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.base
+}
+
+// Max returns the configured delay cap (0 for nil).
+func (b *Backoff) Max() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.max
+}

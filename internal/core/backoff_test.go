@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	a := NewBackoff(42, time.Millisecond, 100*time.Millisecond)
+	b := NewBackoff(42, time.Millisecond, 100*time.Millisecond)
+	for n := 1; n <= 16; n++ {
+		if da, db := a.Delay(n), b.Delay(n); da != db {
+			t.Fatalf("attempt %d: seeds diverge: %v vs %v", n, da, db)
+		}
+	}
+	c := NewBackoff(43, time.Millisecond, 100*time.Millisecond)
+	same := true
+	d := NewBackoff(42, time.Millisecond, 100*time.Millisecond)
+	for n := 1; n <= 16; n++ {
+		if c.Delay(n) != d.Delay(n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+func TestBackoffBoundsAndClamp(t *testing.T) {
+	base, max := 4*time.Millisecond, 32*time.Millisecond
+	bo := NewBackoff(1, base, max)
+	for n := 1; n <= 20; n++ {
+		exp := base
+		for i := 1; i < n && exp < max; i++ {
+			exp *= 2
+		}
+		if exp > max {
+			exp = max
+		}
+		d := bo.Delay(n)
+		if d < exp/2 || d > exp {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", n, d, exp/2, exp)
+		}
+	}
+}
+
+func TestBackoffDefaultsAndNil(t *testing.T) {
+	bo := NewBackoff(1, 0, 0)
+	if bo.Base() != DefaultBackoffBase || bo.Max() != DefaultBackoffMax {
+		t.Fatalf("defaults = (%v, %v), want (%v, %v)", bo.Base(), bo.Max(), DefaultBackoffBase, DefaultBackoffMax)
+	}
+	// A max below base is raised to base, so Delay stays well defined.
+	lo := NewBackoff(1, 10*time.Millisecond, time.Millisecond)
+	if lo.Max() != 10*time.Millisecond {
+		t.Fatalf("max below base: Max() = %v, want %v", lo.Max(), 10*time.Millisecond)
+	}
+	if d := lo.Delay(5); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("delay %v outside [5ms, 10ms]", d)
+	}
+	// Attempts below 1 behave as attempt 1.
+	if d := bo.Delay(0); d > bo.Base() {
+		t.Fatalf("attempt 0 delay %v exceeds base %v", d, bo.Base())
+	}
+	var nilBo *Backoff
+	if nilBo.Delay(3) != 0 || nilBo.Base() != 0 || nilBo.Max() != 0 {
+		t.Fatal("nil Backoff is not a zero no-op")
+	}
+}
+
+func TestPoolRetriesPacedByBackoff(t *testing.T) {
+	// A faulted run with a backoff completes with the same results and the
+	// same failure accounting as the immediate-retry policy — the pacing
+	// changes when retries happen, never what they produce.
+	policy := Policy{
+		Retries:  2,
+		Backoff:  NewBackoff(7, time.Millisecond, 8*time.Millisecond),
+		Injector: PlanFaults(0, FaultPanic, FaultPanic),
+	}
+	got, errs, stats := runPool(t, 4, policy)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantDoubles(t, got, 4)
+	if stats.Failures != 2 || stats.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 failures, 2 retries", stats)
+	}
+	if stats.Deaths != stats.Workers {
+		t.Fatalf("deaths %d != workers %d", stats.Deaths, stats.Workers)
+	}
+}

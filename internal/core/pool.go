@@ -35,6 +35,12 @@ type Policy struct {
 	// abandoned (its death is raised on its behalf) and its job retried.
 	// 0 means no deadline.
 	WorkerDeadline time.Duration
+	// Backoff, when non-nil, paces job resubmissions: retry attempt n is
+	// dispatched only after Backoff.Delay(n) has elapsed, so a flapping
+	// resource is not hammered by an immediate-retry storm. The pause is
+	// taken in the collecting goroutine and is bounded by Backoff.Max; nil
+	// (the default) keeps the historical retry-immediately behaviour.
+	Backoff *Backoff
 	// Injector, when non-nil, deterministically makes worker bodies panic,
 	// hang, or corrupt their results (tests and the CLI -faults flag).
 	Injector *FaultInjector
@@ -254,11 +260,7 @@ func (pl *Pool) read() (manifold.Unit, error) {
 	if nearest.IsZero() {
 		return pl.m.ReadResult(), nil
 	}
-	wait := time.Until(nearest)
-	if wait < 0 {
-		wait = 0
-	}
-	return pl.m.ReadResultWithin(wait)
+	return pl.m.ReadResultUntil(nearest)
 }
 
 // expireOverdue abandons every worker past its deadline and fails its job.
@@ -299,6 +301,13 @@ func (pl *Pool) fail(rec *jobRec, cause error, abandon bool) {
 	if rec.attempts <= pl.m.policy().Retries {
 		pl.m.state.addRetry()
 		pl.obs.Emit(obs.KJobRetry, rec.worker.Name(), "", int64(rec.id), int64(rec.attempts))
+		// Pace the resubmission. Sleeping here blocks Collect, which is
+		// deliberate: results produced meanwhile buffer on the dataport's
+		// unbounded stream, and the pause is bounded by Backoff.Max, so
+		// failure handling stays ordered and deterministic under a seed.
+		if d := pl.m.policy().Backoff.Delay(rec.attempts); d > 0 {
+			time.Sleep(d)
+		}
 		pl.dispatch(rec)
 		return
 	}

@@ -91,6 +91,13 @@ func (m *Master) ReadResultWithin(d time.Duration) (manifold.Unit, error) {
 	return m.p.Port("dataport").ReadWithin(d)
 }
 
+// ReadResultUntil is ReadResultWithin against an absolute deadline — the
+// form the Pool uses so that per-worker deadlines propagate exactly
+// instead of being re-derived as durations on every read.
+func (m *Master) ReadResultUntil(t time.Time) (manifold.Unit, error) {
+	return m.p.Port("dataport").ReadUntil(t)
+}
+
 // abandon gives up on a worker the master no longer trusts to deliver: the
 // master raises death_worker on its behalf (exactly once per worker — a
 // late self-raise is suppressed) so the rendezvous count stays correct, and

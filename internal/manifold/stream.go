@@ -104,7 +104,15 @@ func (pt *Port) MustRead() Unit {
 // been closed and drained. A master with a deadline on a worker uses this
 // so that it is never stuck forever on a hung producer.
 func (pt *Port) ReadWithin(d time.Duration) (Unit, error) {
-	deadline := time.Now().Add(d)
+	return pt.ReadUntil(time.Now().Add(d))
+}
+
+// ReadUntil is ReadWithin against an absolute deadline — the form used
+// when a deadline propagates through layers (an HTTP request deadline
+// flowing down to a worker read) and must not be stretched by repeated
+// relative-deadline restarts.
+func (pt *Port) ReadUntil(deadline time.Time) (Unit, error) {
+	d := time.Until(deadline)
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
 	for len(pt.queue) == 0 && !pt.closed {

@@ -67,6 +67,31 @@ func (e Event) Message() string {
 		return fmt.Sprintf("Bye (task %d)", e.A)
 	case KWorkerLost:
 		return fmt.Sprintf("worker %s lost with its machine", e.Actor)
+	case KServeAccept:
+		return fmt.Sprintf("accept request %d (queue depth %d)", e.A, e.B)
+	case KServeShed:
+		return fmt.Sprintf("shed request %d: %s", e.A, e.Aux)
+	case KServeRetry:
+		return fmt.Sprintf("retry request %d after attempt %d", e.A, e.B)
+	case KServeComplete:
+		return fmt.Sprintf("request %d completed after %d attempts", e.A, e.B)
+	case KServeDegraded:
+		return fmt.Sprintf("request %d completed degraded after %d attempts", e.A, e.B)
+	case KServeFail:
+		return fmt.Sprintf("request %d failed (%s) with %d worker failures", e.A, e.Aux, e.B)
+	case KBreakerTrip:
+		return fmt.Sprintf("breaker open for tenant %s after %d consecutive failures", e.Aux, e.A)
+	case KBreakerProbe:
+		return fmt.Sprintf("breaker half-open for tenant %s: probe admitted", e.Aux)
+	case KBreakerClose:
+		return fmt.Sprintf("breaker closed for tenant %s", e.Aux)
+	case KDrainBegin:
+		return fmt.Sprintf("drain begin: %d queued jobs to shed", e.A)
+	case KDrainEnd:
+		if e.A == 1 {
+			return "drain end: all inflight jobs completed"
+		}
+		return "drain end: timeout with inflight jobs remaining"
 	}
 	return e.Kind.String()
 }

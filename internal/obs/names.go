@@ -44,6 +44,12 @@ var EventDocs = []EventDoc{
 	{[]Kind{KTaskFork, KTaskAdopt, KTaskReuse, KTaskKill}, "`cluster.Spawner`, virtual time", "task ID, load"},
 	{[]Kind{KMachineCrash, KMachineSlow}, "`mwsim` failure plan, virtual time", "slow: factor"},
 	{[]Kind{KWorkerLost}, "`mwsim` when a crash takes a worker", "grid L1, L2"},
+	{[]Kind{KServeAccept}, "`serve.Server` on admission", "request ID, queue depth"},
+	{[]Kind{KServeShed}, "`serve.Server` refusing a request (Aux is the reason)", "request ID"},
+	{[]Kind{KServeRetry}, "`serve.Server` retrying a failed attempt after backoff", "request ID, failed attempt"},
+	{[]Kind{KServeComplete, KServeDegraded, KServeFail}, "`serve.Server`, exactly one per admitted request", "request ID, attempts (fail: failures)"},
+	{[]Kind{KBreakerTrip, KBreakerProbe, KBreakerClose}, "`serve` tenant circuit breaker (Aux is the tenant)", "trip: consecutive failures"},
+	{[]Kind{KDrainBegin, KDrainEnd}, "`serve.Server.Drain` on SIGTERM", "begin: queue depth; end: 1=clean, 0=timeout"},
 }
 
 // MetricDoc documents one registered metric name. A `<grid>` segment marks
@@ -68,6 +74,16 @@ var MetricDocs = []MetricDoc{
 	{"linalg.team.imbalance.us", "histogram", "per-dispatch spread between first and last finishing team worker"},
 	{"linalg.team.phase.us", "histogram", "wall-clock cost of one fused-phase dispatch (wake, micro-program, park)"},
 	{"linalg.team.phase.barriers", "counter", "in-phase barriers crossed by fused-phase dispatches"},
+	{"serve.requests", "counter", "valid solve requests reaching admission control"},
+	{"serve.shed", "counter", "requests refused by admission control or shed during drain"},
+	{"serve.completed", "counter", "admitted requests finished successfully on the concurrent path"},
+	{"serve.degraded", "counter", "admitted requests finished successfully on the degraded sequential path"},
+	{"serve.failed", "counter", "admitted requests ending in permanent failure (budget, deadline, error)"},
+	{"serve.retries", "counter", "serve-level solve attempts retried after a backoff pause"},
+	{"serve.queue.depth", "gauge", "jobs admitted and waiting for an executor"},
+	{"serve.inflight", "gauge", "requests admitted but not yet terminal"},
+	{"serve.request.us", "histogram", "admission-to-terminal latency per admitted request"},
+	{"serve.queue.wait.us", "histogram", "admission-to-execution wait per admitted request"},
 	{"solver.subsolve.<grid>.cores", "histogram", "team size used per subsolve of the grid"},
 	{"solver.subsolve.<grid>.us", "histogram", "per-grid subsolve duration, e.g. `solver.subsolve.grid(1,2;root=2).us`"},
 }

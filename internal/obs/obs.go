@@ -123,6 +123,44 @@ const (
 	// machine, observed by the master after the detection latency.
 	KWorkerLost
 
+	// KServeAccept marks a solve request admitted past admission control
+	// into the service queue; A is the request ID, B the queue depth after
+	// the enqueue.
+	KServeAccept
+	// KServeShed marks a request refused by admission control or during
+	// drain (tenant over quota, queue full, breaker open, draining); Aux is
+	// the shed reason, A the request ID.
+	KServeShed
+	// KServeRetry marks a serve-level retry of a failed solve attempt after
+	// a backoff pause; A is the request ID, B the attempt just failed.
+	KServeRetry
+	// KServeComplete marks an admitted request finishing successfully on
+	// the normal concurrent path; A is the request ID, B the attempts used.
+	KServeComplete
+	// KServeDegraded marks an admitted request finishing successfully on
+	// the degraded sequential path (overload ladder); A is the request ID,
+	// B the attempts used.
+	KServeDegraded
+	// KServeFail marks an admitted request ending in permanent failure
+	// (failure budget spent, deadline passed, or solver error); Aux is the
+	// reason, A the request ID, B the failed worker attempts charged.
+	KServeFail
+	// KBreakerTrip marks a tenant circuit breaker opening after its
+	// consecutive-failure threshold; Aux is the tenant, A the failures.
+	KBreakerTrip
+	// KBreakerProbe marks a half-open breaker admitting one probe request;
+	// Aux is the tenant.
+	KBreakerProbe
+	// KBreakerClose marks a breaker closing after a successful probe; Aux
+	// is the tenant.
+	KBreakerClose
+	// KDrainBegin marks the service entering drain: admission stops, queued
+	// jobs are shed, inflight jobs run to completion; A is the queue depth.
+	KDrainBegin
+	// KDrainEnd marks the drain finishing; A is 1 when every inflight job
+	// completed within the drain deadline, 0 on timeout.
+	KDrainEnd
+
 	kindCount // number of kinds; keep last
 )
 
@@ -152,6 +190,17 @@ var kindNames = [...]string{
 	KTaskReuse:       "task.reuse",
 	KTaskKill:        "task.kill",
 	KWorkerLost:      "worker.lost",
+	KServeAccept:     "serve.accept",
+	KServeShed:       "serve.shed",
+	KServeRetry:      "serve.retry",
+	KServeComplete:   "serve.complete",
+	KServeDegraded:   "serve.degraded",
+	KServeFail:       "serve.fail",
+	KBreakerTrip:     "serve.breaker.trip",
+	KBreakerProbe:    "serve.breaker.probe",
+	KBreakerClose:    "serve.breaker.close",
+	KDrainBegin:      "serve.drain.begin",
+	KDrainEnd:        "serve.drain.end",
 }
 
 // String returns the dotted event name, e.g. "job.dispatch".
@@ -179,6 +228,9 @@ func (k Kind) source() string {
 		return "mwsim.go"
 	case KTaskFork, KTaskAdopt, KTaskReuse, KTaskKill:
 		return "cluster.go"
+	case KServeAccept, KServeShed, KServeRetry, KServeComplete, KServeDegraded,
+		KServeFail, KBreakerTrip, KBreakerProbe, KBreakerClose, KDrainBegin, KDrainEnd:
+		return "serve.go"
 	}
 	return "obs.go"
 }

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// fakeClock is the Config.Now test seam: admission, deadlines, and the
+// breaker cooldown all read it, so quota refills and cooldown expiries
+// happen exactly when a test advances it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestServer builds a server over httptest. Executors are NOT started —
+// tests that want them call srv.Start(), and tests that want a full queue
+// first get to set one up deterministically.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Backoff == nil {
+		cfg.Backoff = core.NewBackoff(1, time.Millisecond, 4*time.Millisecond)
+	}
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tryPost issues one solve request; safe from any goroutine.
+func tryPost(base string, req SolveRequest, hdr map[string]string) (int, SolveResponse, http.Header, error) {
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return 0, SolveResponse{}, nil, err
+	}
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return 0, SolveResponse{}, nil, err
+	}
+	defer resp.Body.Close()
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return resp.StatusCode, SolveResponse{}, resp.Header, err
+	}
+	return resp.StatusCode, sr, resp.Header, nil
+}
+
+// postSolve is tryPost with test-fatal error handling (main goroutine only).
+func postSolve(t *testing.T, base string, req SolveRequest, hdr map[string]string) (int, SolveResponse, http.Header) {
+	t.Helper()
+	code, sr, h, err := tryPost(base, req, hdr)
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	return code, sr, h
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// checkLedger asserts the service's accounting invariant both ways: the
+// terminal counters partition serve.requests exactly, every terminal
+// counter equals its event's drop-proof KindCount, and no tenant is left
+// holding an inflight slot.
+func checkLedger(t *testing.T, s *Server) {
+	t.Helper()
+	rec := s.rec
+	req := rec.Counter("serve.requests").Value()
+	shed := rec.Counter("serve.shed").Value()
+	comp := rec.Counter("serve.completed").Value()
+	deg := rec.Counter("serve.degraded").Value()
+	fail := rec.Counter("serve.failed").Value()
+	if req != shed+comp+deg+fail {
+		t.Fatalf("ledger: requests=%d != shed=%d + completed=%d + degraded=%d + failed=%d",
+			req, shed, comp, deg, fail)
+	}
+	pairs := []struct {
+		name string
+		k    obs.Kind
+		c    int64
+	}{
+		{"serve.shed", obs.KServeShed, shed},
+		{"serve.completed", obs.KServeComplete, comp},
+		{"serve.degraded", obs.KServeDegraded, deg},
+		{"serve.failed", obs.KServeFail, fail},
+		{"serve.retries", obs.KServeRetry, rec.Counter("serve.retries").Value()},
+	}
+	for _, p := range pairs {
+		if got := rec.KindCount(p.k); got != uint64(p.c) {
+			t.Fatalf("ledger: %d %v events vs counter %s=%d", got, p.k, p.name, p.c)
+		}
+	}
+	if _, inflight := s.tenants.snapshot(); inflight != 0 {
+		t.Fatalf("ledger: %d tenant inflight slots leaked", inflight)
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 4, Executors: 2})
+	s.Start()
+	defer s.Drain(time.Minute)
+
+	code, sr, _ := postSolve(t, ts.URL, SolveRequest{Tenant: "alice", Root: 1, Level: 1, Tol: 1e-2}, nil)
+	if code != http.StatusOK || sr.Status != StatusCompleted {
+		t.Fatalf("status %d %q, want 200 completed", code, sr.Status)
+	}
+	if sr.Tenant != "alice" || sr.Attempts != 1 || sr.ID == 0 {
+		t.Fatalf("response %+v: want tenant alice, 1 attempt, nonzero ID", sr)
+	}
+
+	// The service answer is the library answer, exactly: JSON float64
+	// round-trips, so even the last bit must agree.
+	ref, err := solver.Sequential(solver.Params{Root: 1, Level: 1, Tol: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Combined.V.NormInf(); sr.MaxU != want {
+		t.Fatalf("service max|u| = %v, library = %v", sr.MaxU, want)
+	}
+	if sr.Grids != len(ref.Results) {
+		t.Fatalf("service grids = %d, library = %d", sr.Grids, len(ref.Results))
+	}
+	checkLedger(t, s)
+}
+
+func TestRequestValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxLevel: 3})
+	s.Start()
+	defer s.Drain(time.Minute)
+
+	cases := []struct {
+		name string
+		body string
+		hdr  map[string]string
+		want int
+	}{
+		{"bad json", "{", nil, http.StatusBadRequest},
+		{"bad root", `{"root":0,"level":1}`, nil, http.StatusBadRequest},
+		{"bad solver", `{"root":1,"level":1,"solver":"cholesky"}`, nil, http.StatusBadRequest},
+		{"level beyond cap", `{"root":1,"level":4}`, nil, http.StatusBadRequest},
+		{"bad deadline header", `{"root":1,"level":1}`, map[string]string{"X-Deadline-Ms": "soon"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve", strings.NewReader(tc.body))
+		for k, v := range tc.hdr {
+			hreq.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/solve"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /solve: status %d, want 405", resp.StatusCode)
+		}
+	}
+	// Invalid requests are refused before admission: no ledger movement.
+	if got := s.rec.Counter("serve.requests").Value(); got != 0 {
+		t.Fatalf("invalid requests moved the ledger: serve.requests = %d", got)
+	}
+}
+
+func TestHeaderOverridesAndSolverChoice(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 4, Executors: 1})
+	s.Start()
+	defer s.Drain(time.Minute)
+
+	code, sr, _ := postSolve(t, ts.URL,
+		SolveRequest{Tenant: "body-tenant", Root: 1, Level: 0, Tol: 1e-2, Solver: "gmres"},
+		map[string]string{"X-Tenant": "header-tenant", "X-Deadline-Ms": "30000"})
+	if code != http.StatusOK || sr.Status != StatusCompleted {
+		t.Fatalf("status %d %q, want 200 completed", code, sr.Status)
+	}
+	if sr.Tenant != "header-tenant" {
+		t.Fatalf("tenant %q: X-Tenant header must win over the body", sr.Tenant)
+	}
+	checkLedger(t, s)
+}
+
+func TestDegradeUnderQueuePressure(t *testing.T) {
+	// Two jobs queued before any executor runs; DegradeAt 0.5 of depth 2
+	// degrades any job dequeued while another still waits. The first
+	// dequeue sees one queued job (degraded), the second sees none
+	// (completed) — deterministic with a single executor.
+	s, ts := newTestServer(t, Config{QueueDepth: 2, Executors: 1, DegradeAt: 0.5})
+	defer s.Drain(time.Minute)
+
+	results := make(chan SolveResponse, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, sr, _, err := tryPost(ts.URL, SolveRequest{Root: 1, Level: 0, Tol: 1e-2}, nil)
+			if err != nil {
+				sr.Status = "transport-error: " + err.Error()
+			}
+			results <- sr
+		}()
+	}
+	waitFor(t, "both jobs queued", func() bool {
+		return s.rec.KindCount(obs.KServeAccept) == 2
+	})
+	s.Start()
+
+	got := map[string]int{}
+	for i := 0; i < 2; i++ {
+		sr := <-results
+		got[sr.Status]++
+	}
+	if got[StatusDegraded] != 1 || got[StatusCompleted] != 1 {
+		t.Fatalf("statuses %v, want exactly one degraded and one completed", got)
+	}
+	checkLedger(t, s)
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 1, Executors: 1})
+	defer s.Drain(time.Minute)
+
+	first := make(chan SolveResponse, 1)
+	go func() {
+		_, sr, _, err := tryPost(ts.URL, SolveRequest{Root: 1, Level: 0, Tol: 1e-2}, nil)
+		if err != nil {
+			sr.Status = "transport-error: " + err.Error()
+		}
+		first <- sr
+	}()
+	waitFor(t, "first job queued", func() bool {
+		return s.rec.KindCount(obs.KServeAccept) == 1
+	})
+
+	code, sr, hdr := postSolve(t, ts.URL, SolveRequest{Root: 1, Level: 0, Tol: 1e-2}, nil)
+	if code != http.StatusServiceUnavailable || sr.Status != StatusShed || sr.Reason != shedQueueFull {
+		t.Fatalf("status %d %q/%q, want 503 shed/queue-full", code, sr.Status, sr.Reason)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("queue-full shed without a Retry-After header")
+	}
+
+	s.Start()
+	if sr := <-first; sr.Status != StatusCompleted {
+		t.Fatalf("first job status %q, want completed", sr.Status)
+	}
+	checkLedger(t, s)
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 2, Executors: 1})
+	s.Start()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %q, want 200 ok", resp.StatusCode, hz.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "serve.requests") {
+		t.Fatalf("metrics output lacks serve.requests:\n%s", body)
+	}
+
+	if clean := s.Drain(time.Minute); !clean {
+		t.Fatal("drain of an idle server timed out")
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+}

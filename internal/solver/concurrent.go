@@ -93,6 +93,7 @@ func Concurrent(p Params) (*Output, error) {
 		Retries:        p.Retries,
 		FailureBudget:  p.FailureBudget,
 		WorkerDeadline: p.WorkerDeadline,
+		Backoff:        p.Backoff,
 		Injector:       p.Faults,
 		Obs:            p.Obs,
 		// A result that is not a jobResult (e.g. an injected CorruptUnit)

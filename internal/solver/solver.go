@@ -76,6 +76,10 @@ type Params struct {
 	// worker before abandoning it and retrying its job. 0 means no
 	// deadline.
 	WorkerDeadline time.Duration
+	// Backoff, when non-nil, paces job resubmissions of the concurrent
+	// driver with seeded jittered exponential delays instead of retrying
+	// immediately (see core.Backoff).
+	Backoff *core.Backoff
 	// Faults, when non-nil, injects worker faults (panic, hang, corrupt)
 	// into the concurrent run — tests and the sparsegrid -faults flag.
 	Faults *core.FaultInjector
