@@ -70,6 +70,17 @@ func serveFlags(fs *flag.FlagSet) func() (serve.Config, error) {
 		boBase    = fs.Duration("backoff-base", core.DefaultBackoffBase, "base delay of the exponential retry backoff")
 		boMax     = fs.Duration("backoff-max", core.DefaultBackoffMax, "delay ceiling of the retry backoff")
 		faults    = fs.String("faults", "", "worker fault injection spec, e.g. 'seed=42,panic=0.2,hang=0.1,corrupt=0.1' (applies to every solve)")
+
+		batchWin    = fs.Duration("batch-window", 0, "cross-request batching window (0 = batching and the solver cache off); see SERVING.md")
+		batchSize   = fs.Int("batch-size", 8, "flush a pending batch at this many tasks")
+		batchWork   = fs.Int("batch-workers", 0, "batch workers, each with a persistent team (0 = GOMAXPROCS)")
+		batchTeam   = fs.Int("batch-team", 1, "team size per batch worker")
+		batchMargin = fs.Duration("batch-margin", 25*time.Millisecond, "safety margin before the earliest member deadline when flushing")
+		cacheN      = fs.Int("cache-entries", 64, "solver-cache entry bound")
+		cacheBytes  = fs.Int64("cache-bytes", 256<<20, "solver-cache approximate byte budget")
+		maxExec     = fs.Int("max-executors", 0, "autoscale the executor pool up to this (0 = fixed at -executors)")
+		scaleEvery  = fs.Duration("scale-every", 20*time.Millisecond, "autoscaler evaluation period")
+		scaleMc     = fs.Float64("scale-quantum-mc", 0, "queued megacycles per extra executor (0 = model default)")
 	)
 	return func() (serve.Config, error) {
 		cfg := serve.Config{
@@ -79,6 +90,10 @@ func serveFlags(fs *flag.FlagSet) func() (serve.Config, error) {
 			Attempts: *attempts, Retries: *retries, FailureBudget: *budget,
 			WorkerDeadline: *wdl, DefaultDeadline: *ddl, MaxLevel: *maxLevel,
 			Backoff: core.NewBackoff(*boSeed, *boBase, *boMax),
+			BatchWindow: *batchWin, BatchSize: *batchSize, BatchWorkers: *batchWork,
+			BatchTeam: *batchTeam, BatchMargin: *batchMargin,
+			CacheEntries: *cacheN, CacheBytes: *cacheBytes,
+			MaxExecutors: *maxExec, ScaleEvery: *scaleEvery, ScaleQuantumMc: *scaleMc,
 		}
 		if *faults != "" {
 			inj, err := core.ParseFaultSpec(*faults)
@@ -170,9 +185,28 @@ func runLoadtest(args []string) int {
 		pause    = fs.Duration("pause", 10*time.Millisecond, "mean inter-burst pause")
 		seed     = fs.Int64("seed", 1, "arrival-jitter seed")
 		timeline = fs.String("timeline", "", "with -self: write the server's JSON-lines timeline after the run ('-' = stdout)")
+
+		ab         = fs.Bool("ab", false, "ablation: run the same load twice self-hosted — batching+caching off, then on — and compare")
+		benchJSON  = fs.String("bench-json", "", "with -ab: write the machine-readable comparison (BENCH_6 format) to this file")
+		minSpeedup = fs.Float64("min-speedup", 0, "with -ab: fail unless the on/off throughput ratio reaches this (0 = report only)")
+		minHitRate = fs.Float64("min-hit-rate", 0, "with -ab: fail unless the on-run cache hit rate exceeds this")
 	)
 	cfgOf := serveFlags(fs)
 	fs.Parse(args)
+
+	lc := serve.LoadConfig{
+		Clients: *clients, Requests: *requests, Burst: *burstN,
+		Tenants: *tenants, Root: *root, Level: *level, Tol: *tol,
+		Deadline: *deadline, Pause: *pause, Seed: *seed,
+	}
+	if *ab {
+		cfg, err := cfgOf()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return runAblation(cfg, lc, *benchJSON, *minSpeedup, *minHitRate)
+	}
 
 	var srv *serve.Server
 	base := *url
@@ -201,11 +235,8 @@ func runLoadtest(args []string) int {
 		return 2
 	}
 
-	res := serve.RunLoad(serve.LoadConfig{
-		URL: base, Clients: *clients, Requests: *requests, Burst: *burstN,
-		Tenants: *tenants, Root: *root, Level: *level, Tol: *tol,
-		Deadline: *deadline, Pause: *pause, Seed: *seed,
-	})
+	lc.URL = base
+	res := serve.RunLoad(lc)
 	fmt.Println(res)
 	if *self {
 		clean := srv.Drain(time.Minute)

@@ -92,6 +92,18 @@ func (e Event) Message() string {
 			return "drain end: all inflight jobs completed"
 		}
 		return "drain end: timeout with inflight jobs remaining"
+	case KBatchTask:
+		return fmt.Sprintf("batch %s: task of request %d enqueued (%d pending)", e.Actor, e.A, e.B)
+	case KBatchFlush:
+		return fmt.Sprintf("batch %s: flush %d tasks (%s) after %d us", e.Actor, e.A, e.Aux, e.B)
+	case KCacheHit:
+		return fmt.Sprintf("cache hit %s", e.Actor)
+	case KCacheMiss:
+		return fmt.Sprintf("cache miss %s", e.Actor)
+	case KCacheEvict:
+		return fmt.Sprintf("cache evict %s (%d bytes)", e.Actor, e.A)
+	case KExecScale:
+		return fmt.Sprintf("executors scaled %d -> %d", e.A, e.B)
 	}
 	return e.Kind.String()
 }

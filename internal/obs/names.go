@@ -50,6 +50,11 @@ var EventDocs = []EventDoc{
 	{[]Kind{KServeComplete, KServeDegraded, KServeFail}, "`serve.Server`, exactly one per admitted request", "request ID, attempts (fail: failures)"},
 	{[]Kind{KBreakerTrip, KBreakerProbe, KBreakerClose}, "`serve` tenant circuit breaker (Aux is the tenant)", "trip: consecutive failures"},
 	{[]Kind{KDrainBegin, KDrainEnd}, "`serve.Server.Drain` on SIGTERM", "begin: queue depth; end: 1=clean, 0=timeout"},
+	{[]Kind{KBatchTask}, "`serve` batcher on a subsolve enqueue (Actor is the signature)", "request ID, pending-batch size"},
+	{[]Kind{KBatchFlush}, "`serve` batcher dispatching a batch (Aux is the reason: size, age, deadline, close)", "batch size, oldest-member age (µs)"},
+	{[]Kind{KCacheHit, KCacheMiss}, "`serve` solver cache on checkout (Actor is the signature)", "—"},
+	{[]Kind{KCacheEvict}, "`serve` solver cache keeping its entry/byte bounds", "evicted entry bytes"},
+	{[]Kind{KExecScale}, "`serve` executor autoscaler on a pool resize", "old workers, new workers"},
 }
 
 // MetricDoc documents one registered metric name. A `<grid>` segment marks
@@ -81,9 +86,22 @@ var MetricDocs = []MetricDoc{
 	{"serve.failed", "counter", "admitted requests ending in permanent failure (budget, deadline, error)"},
 	{"serve.retries", "counter", "serve-level solve attempts retried after a backoff pause"},
 	{"serve.queue.depth", "gauge", "jobs admitted and waiting for an executor"},
+	{"serve.queue.mc", "gauge", "workmodel cost estimate (megacycles) of the queued jobs"},
 	{"serve.inflight", "gauge", "requests admitted but not yet terminal"},
 	{"serve.request.us", "histogram", "admission-to-terminal latency per admitted request"},
 	{"serve.queue.wait.us", "histogram", "admission-to-execution wait per admitted request"},
+	{"serve.batch.tasks", "counter", "subsolve tasks entering the cross-request batcher"},
+	{"serve.batch.flushes", "counter", "batches dispatched to batch workers"},
+	{"serve.batch.size", "histogram", "subsolve tasks per flushed batch"},
+	{"serve.batch.wait.us", "histogram", "enqueue-to-execution wait per batched subsolve"},
+	{"serve.cache.hits", "counter", "solver-cache checkouts that found a warm entry"},
+	{"serve.cache.misses", "counter", "solver-cache checkouts that built a fresh entry"},
+	{"serve.cache.evictions", "counter", "solver-cache entries evicted under the entry/byte bounds"},
+	{"serve.cache.entries", "gauge", "solver-cache entries currently parked (checked-out entries excluded)"},
+	{"serve.cache.bytes", "gauge", "approximate bytes held by parked solver-cache entries"},
+	{"serve.exec.workers", "gauge", "executor goroutines currently running"},
+	{"serve.exec.target", "gauge", "executor count the autoscaler is steering toward"},
+	{"serve.exec.scales", "counter", "autoscaler pool resizes"},
 	{"solver.subsolve.<grid>.cores", "histogram", "team size used per subsolve of the grid"},
 	{"solver.subsolve.<grid>.us", "histogram", "per-grid subsolve duration, e.g. `solver.subsolve.grid(1,2;root=2).us`"},
 }

@@ -161,6 +161,28 @@ const (
 	// completed within the drain deadline, 0 on timeout.
 	KDrainEnd
 
+	// KBatchTask marks one subsolve task entering the cross-request
+	// batcher; Actor is the problem signature, A the request ID, B the
+	// pending-batch size after the enqueue.
+	KBatchTask
+	// KBatchFlush marks one batch dispatched to a batch worker; Actor is
+	// the problem signature, Aux the flush reason (size, age, deadline,
+	// close), A the batch size, B the age of the oldest member in µs.
+	KBatchFlush
+	// KCacheHit marks a solver-cache checkout that found a warm entry;
+	// Actor is the problem signature.
+	KCacheHit
+	// KCacheMiss marks a solver-cache checkout that had to build a fresh
+	// entry; Actor is the problem signature.
+	KCacheMiss
+	// KCacheEvict marks an entry evicted to keep the cache within its
+	// entry/byte bounds; Actor is the evicted signature, A the entry's
+	// approximate bytes.
+	KCacheEvict
+	// KExecScale marks the executor autoscaler resizing the pool; A is
+	// the previous worker count, B the new one.
+	KExecScale
+
 	kindCount // number of kinds; keep last
 )
 
@@ -201,6 +223,12 @@ var kindNames = [...]string{
 	KBreakerClose:    "serve.breaker.close",
 	KDrainBegin:      "serve.drain.begin",
 	KDrainEnd:        "serve.drain.end",
+	KBatchTask:       "serve.batch.task",
+	KBatchFlush:      "serve.batch.flush",
+	KCacheHit:        "serve.cache.hit",
+	KCacheMiss:       "serve.cache.miss",
+	KCacheEvict:      "serve.cache.evict",
+	KExecScale:       "serve.exec.scale",
 }
 
 // String returns the dotted event name, e.g. "job.dispatch".
@@ -231,6 +259,12 @@ func (k Kind) source() string {
 	case KServeAccept, KServeShed, KServeRetry, KServeComplete, KServeDegraded,
 		KServeFail, KBreakerTrip, KBreakerProbe, KBreakerClose, KDrainBegin, KDrainEnd:
 		return "serve.go"
+	case KBatchTask, KBatchFlush:
+		return "batch.go"
+	case KCacheHit, KCacheMiss, KCacheEvict:
+		return "cache.go"
+	case KExecScale:
+		return "exec.go"
 	}
 	return "obs.go"
 }

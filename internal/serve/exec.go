@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"math"
 	"net/http"
 	"time"
 
@@ -22,27 +23,46 @@ const (
 	failError = "error"
 )
 
-// Start launches the executor goroutines. Jobs enqueued before Start sit
-// in the queue — tests use this to fill the queue deterministically.
+// Start launches the executor goroutines, the batch workers, and (when
+// MaxExecutors > Executors) the autoscaler. Jobs enqueued before Start
+// sit in the queue — tests use this to fill the queue deterministically.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Executors; i++ {
-		s.execWG.Add(1)
-		go s.executor()
+		s.spawnExecutor()
 	}
+	s.gExecTarget.Set(int64(s.cfg.Executors))
+	if s.batch != nil {
+		s.batch.start(s.cfg.BatchWorkers)
+	}
+	if s.shrink != nil {
+		s.execWG.Add(1)
+		go s.autoscaler()
+	}
+}
+
+func (s *Server) spawnExecutor() {
+	s.execWG.Add(1)
+	s.gExecWorkers.Add(1)
+	go s.executor()
 }
 
 // executor pulls admitted jobs off the queue and runs them to a terminal
 // state. During a drain it sheds instead of running, racing the drain
 // loop for the same jobs — each job is dequeued exactly once, so it is
-// shed exactly once either way.
+// shed exactly once either way. A shrink token from the autoscaler
+// retires an idle executor.
 func (s *Server) executor() {
 	defer s.execWG.Done()
+	defer s.gExecWorkers.Add(-1)
 	for {
 		select {
 		case <-s.quit:
 			return
+		case <-s.shrink:
+			return
 		case j := <-s.queue:
 			s.gQueue.Set(int64(len(s.queue)))
+			s.gQueueMc.Set(s.queuedMc.Add(-j.mc))
 			if s.draining.Load() {
 				s.shedQueued(j)
 				continue
@@ -50,6 +70,52 @@ func (s *Server) executor() {
 			s.runJob(j)
 		}
 	}
+}
+
+// autoscaler resizes the executor pool between the Executors floor and
+// the MaxExecutors cap, steering by the workmodel cost estimate of the
+// queued jobs: one extra executor per ScaleQuantumMc of queued work.
+// Scale-up spawns executors directly; scale-down posts tokens that idle
+// executors consume, so a busy pool shrinks only as work finishes.
+func (s *Server) autoscaler() {
+	defer s.execWG.Done()
+	tick := time.NewTicker(s.cfg.ScaleEvery)
+	defer tick.Stop()
+	cur := s.cfg.Executors
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			desired := s.desiredExecutors()
+			if desired == cur {
+				continue
+			}
+			s.rec.Emit(obs.KExecScale, "serve", "", int64(cur), int64(desired))
+			s.cScales.Inc()
+			s.gExecTarget.Set(int64(desired))
+			for cur < desired {
+				s.spawnExecutor()
+				cur++
+			}
+			for cur > desired {
+				s.shrink <- struct{}{}
+				cur--
+			}
+		}
+	}
+}
+
+func (s *Server) desiredExecutors() int {
+	mc := float64(s.queuedMc.Load())
+	d := s.cfg.Executors + int(math.Ceil(mc/s.cfg.ScaleQuantumMc))
+	if d > s.cfg.MaxExecutors {
+		d = s.cfg.MaxExecutors
+	}
+	if d < s.cfg.Executors {
+		d = s.cfg.Executors
+	}
+	return d
 }
 
 // runJob drives one admitted job through the retry loop: each solve
@@ -64,6 +130,13 @@ func (s *Server) runJob(j *job) {
 	// sequential single-core path leaves GOMAXPROCS to the other
 	// executors instead of fanning out a worker pool per request.
 	degraded := s.degradeLevel > 0 && len(s.queue) >= s.degradeLevel
+
+	// The batched path replaces solver.Concurrent when the batcher is on.
+	// Degraded jobs bypass it (degradation promises strictly sequential
+	// single-core execution), and so does a fault-injecting server — the
+	// batcher has no worker pool to inject faults into, and the fault
+	// suite's contract is per-request pools.
+	batched := s.batch != nil && !degraded && s.cfg.Faults == nil
 
 	var (
 		failures  int // failed worker attempts charged to this request
@@ -110,6 +183,8 @@ func (s *Server) runJob(j *job) {
 			// core — no worker pool, no fault surface, same answer.
 			params.CoresPerWorker = 1
 			out, err = solver.Sequential(params)
+		} else if batched {
+			out, err = s.solveBatched(j, params)
 		} else {
 			out, err = solver.Concurrent(params)
 		}
@@ -121,6 +196,10 @@ func (s *Server) runJob(j *job) {
 			return
 		}
 
+		if batched && errors.Is(err, errBatchDeadline) {
+			s.finishFailed(j, failDeadline, http.StatusGatewayTimeout, attempt, failures, retries, fallbacks)
+			return
+		}
 		var be core.BudgetExhausted
 		if errors.As(err, &be) {
 			// The attempt spent everything it was given; the request's
@@ -237,6 +316,7 @@ shedLoop:
 	for {
 		select {
 		case j := <-s.queue:
+			s.gQueueMc.Set(s.queuedMc.Add(-j.mc))
 			s.shedQueued(j)
 		default:
 			break shedLoop
@@ -262,6 +342,13 @@ shedLoop:
 		s.rec.Emit(obs.KDrainEnd, "serve", "", 0, 0)
 	}
 
+	// The batcher closes after inflight jobs settled (clean) or were
+	// given up on (timeout): a clean drain has no pending batches left,
+	// an unclean one fails whatever is still pending so stuck requests
+	// settle as failed rather than hang.
+	if s.batch != nil {
+		s.batch.close(clean)
+	}
 	close(s.quit)
 	if clean {
 		// Idle executors exit on quit; with jobs still stuck past the

@@ -85,16 +85,19 @@ type LoadResult struct {
 	P50, P95, P99, Max time.Duration
 	// Elapsed is the wall clock of the whole run.
 	Elapsed time.Duration
+	// Throughput is completed requests per second of wall clock — the
+	// service-level figure of merit the batching ablation compares.
+	Throughput float64
 }
 
 // String renders the one-line summary the loadtest subcommand prints.
 func (r LoadResult) String() string {
 	return fmt.Sprintf(
-		"requests=%d completed=%d degraded=%d shed=%d failed=%d errors=%d p50=%v p95=%v p99=%v max=%v elapsed=%v",
+		"requests=%d completed=%d degraded=%d shed=%d failed=%d errors=%d p50=%v p95=%v p99=%v max=%v elapsed=%v thru=%.2f/s",
 		r.Total, r.Completed, r.Degraded, r.Shed, r.Failed, r.Errors,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
-		r.Elapsed.Round(time.Millisecond))
+		r.Elapsed.Round(time.Millisecond), r.Throughput)
 }
 
 // RunLoad drives cfg against the service and aggregates the ledger. It is
@@ -174,6 +177,9 @@ func RunLoad(cfg LoadConfig) LoadResult {
 			return lats[i]
 		}
 		res.P50, res.P95, res.P99, res.Max = q(0.50), q(0.95), q(0.99), lats[len(lats)-1]
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Completed) / secs
 	}
 	return res
 }

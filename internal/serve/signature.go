@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"repro/internal/grid"
+	"repro/internal/rosenbrock"
+)
+
+// signature identifies a subsolve shape for batching and caching: the
+// grid (root and refinement levels fix the dimensions and with them the
+// Jacobian's sparsity pattern) and the inner linear solver (which fixes
+// the workspace layout — Krylov basis vs. BiCGStab vectors vs. ILU
+// factors). Tolerance is deliberately excluded: the γτ shift key inside
+// linalg.Workspace.ILUFor already triggers an in-place refactorization
+// whenever the integrator's step size differs, so entries are shareable
+// across tolerances without affecting results.
+type signature struct {
+	g   grid.Grid
+	lin rosenbrock.LinearSolver
+}
+
+// String renders the signature as the Actor field of serve.batch.* and
+// serve.cache.* events, e.g. "grid(1,2;root=2)/bicgstab".
+func (s signature) String() string { return s.g.String() + "/" + s.lin.String() }

@@ -208,13 +208,23 @@ func SubsolveWith(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock
 // reallocated; each concurrent worker owns its own. ws may be nil, which
 // allocates a fresh workspace for this call.
 func SubsolveInto(g grid.Grid, p *pde.Problem, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace) (Result, error) {
-	d := pde.NewDisc(g, p)
+	return SubsolveOn(pde.NewDisc(g, p), tol, tEnd, lin, ws)
+}
+
+// SubsolveOn is SubsolveInto on a prebuilt discretization: the caller owns
+// d and may reuse it (and the workspace) across integrations of the same
+// signature — the serve-layer solver cache does exactly that, keeping the
+// assembled matrices, the shifted-operator pattern, and the ILU factors of
+// a (grid, solver) signature warm across requests. d must not be shared by
+// concurrent integrations. Output is bit-for-bit identical to a fresh
+// SubsolveInto at any team size.
+func SubsolveOn(d *pde.Disc, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace) (Result, error) {
 	u := d.InitialInterior()
 	stats, err := rosenbrock.Integrate(d, u, 0, tEnd, rosenbrock.Config{Tol: tol, Solver: lin, Work: ws})
 	if err != nil {
-		return Result{}, fmt.Errorf("solver: subsolve %v: %w", g, err)
+		return Result{}, fmt.Errorf("solver: subsolve %v: %w", d.G, err)
 	}
-	return Result{Grid: g, U: u, Stats: stats}, nil
+	return Result{Grid: d.G, U: u, Stats: stats}, nil
 }
 
 // timedSubsolve is SubsolveInto instrumented for observability: it brackets
@@ -226,11 +236,24 @@ func timedSubsolve(rec *obs.Recorder, actor string, g grid.Grid, p *pde.Problem,
 	if rec == nil {
 		return SubsolveInto(g, p, tol, tEnd, lin, ws)
 	}
+	return TimedSubsolveOn(rec, actor, pde.NewDisc(g, p), tol, tEnd, lin, ws, cores)
+}
+
+// TimedSubsolveOn is SubsolveOn with the same observability bracket as the
+// solver drivers: subsolve begin/end events plus the per-grid duration and
+// core-budget histograms. The serve batch workers use it so batched
+// subsolves appear in traces and metrics exactly like pool-dispatched
+// ones. With rec == nil it is exactly SubsolveOn.
+func TimedSubsolveOn(rec *obs.Recorder, actor string, d *pde.Disc, tol, tEnd float64, lin rosenbrock.LinearSolver, ws *rosenbrock.Workspace, cores int) (Result, error) {
+	if rec == nil {
+		return SubsolveOn(d, tol, tEnd, lin, ws)
+	}
+	g := d.G
 	gname := g.String()
 	rec.Emit(obs.KSubsolveBegin, actor, gname, int64(g.L1), int64(g.L2))
 	rec.Histogram("solver.subsolve." + gname + ".cores").Observe(int64(cores))
 	t0 := time.Now()
-	res, err := SubsolveInto(g, p, tol, tEnd, lin, ws)
+	res, err := SubsolveOn(d, tol, tEnd, lin, ws)
 	rec.Histogram("solver.subsolve." + gname + ".us").ObserveSince(t0)
 	rec.Emit(obs.KSubsolveEnd, actor, gname, res.Stats.Ops.Flops, int64(res.Stats.Steps))
 	return res, err
@@ -292,6 +315,22 @@ func combine(p Params, results []Result, tm *linalg.Team) (*Output, error) {
 	out.Combined = grid.CombineWith(tm, fields, p.Level, p.EvalGrid())
 	out.Results = results
 	return out, nil
+}
+
+// Combine prolongates per-grid results (in Family order) onto the
+// evaluation grid and applies the combination formula, exactly as the
+// drivers do after their subsolves. It exists for callers that obtained
+// the Results outside this package — the serve layer's cross-request
+// batcher — and is bit-for-bit identical to the drivers' combination at
+// any CoresPerWorker.
+func Combine(p Params, results []Result) (*Output, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	team := p.newTeam(p.teamSize())
+	defer team.Close()
+	return combine(p, results, team)
 }
 
 // Sequential runs the legacy program unchanged: the nested loop calls

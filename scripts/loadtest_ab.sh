@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Batching/caching ablation: drive the identical bursty load against two
+# self-hosted solve services — throughput layer (cross-request batcher +
+# signature-keyed solver cache) off, then on — and compare completed
+# requests per second. CI gates on the speedup and the warm-cache hit
+# rate and uploads the BENCH_6.json comparison as an artifact. Extra
+# arguments pass through to `solved loadtest` (e.g. -bench-json ...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/solved loadtest -ab \
+    -clients 16 -requests 8 -burst 8 -tenants 4 -seed 42 \
+    -root 1 -level 2 -tol 1e-2 \
+    -queue 256 -executors 4 -degrade-at 0 \
+    -batch-window 500us -batch-size 4 \
+    "$@"
