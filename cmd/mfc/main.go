@@ -5,6 +5,7 @@
 //	mfc file1.m file2.m          # check the files together
 //	mfc -decls protocolMW.m      # list the declarations
 //	mfc -tokens mainprog.m       # dump the token stream
+//	mfc run protocolMW.m mainprog.m   # execute on the interpreter
 package main
 
 import (
@@ -16,6 +17,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		os.Exit(runRun(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		decls  = flag.Bool("decls", false, "list top-level declarations")
 		tokens = flag.Bool("tokens", false, "dump the token stream")

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSubcommand executes the paper's protocol sources end to end
+// through `mfc run` and checks the protocol completed with every worker's
+// result delivered.
+func TestRunSubcommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runRun([]string{
+		"-n", "3",
+		"../../internal/manifold/lang/testdata/protocolMW.m",
+		"../../internal/manifold/lang/testdata/mainprog.m",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("mfc run exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "3 result(s): [0 10 20]") {
+		t.Errorf("results line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rendezvous acknowledged") {
+		t.Errorf("rendezvous never acknowledged:\n%s", out)
+	}
+}
+
+// TestRunSubcommandUsage pins the error surface: no files is a usage
+// error, a missing file is a runtime error.
+func TestRunSubcommandUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runRun(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-file run exited %d, want 2", code)
+	}
+	if code := runRun([]string{"no-such-file.m"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing-file run exited %d, want 1", code)
+	}
+}

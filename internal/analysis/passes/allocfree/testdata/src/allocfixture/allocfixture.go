@@ -168,3 +168,48 @@ func execPlan(p *plan, lo, hi int) {
 func badPlanExec(p *plan, x, y vec) {
 	p.steps = append(p.steps, planStep{op: 0, x: x, y: y}) // want `append may grow the backing array`
 }
+
+// ring models the work-stealing deque's hot surface: owner push/pop at the
+// back and thief steal at the front reuse the pre-grown backing array —
+// annotated and clean.
+type ring struct {
+	buf        []int
+	head, size int
+}
+
+//vetsparse:allocfree
+func (r *ring) push(v int) bool {
+	if r.size == len(r.buf) {
+		return false // growing the ring belongs in unannotated setup code
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	return true
+}
+
+//vetsparse:allocfree
+func (r *ring) pop() (int, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	r.size--
+	return r.buf[(r.head+r.size)%len(r.buf)], true
+}
+
+//vetsparse:allocfree
+func (r *ring) stealFront() (int, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// badRingGrow grows the ring from inside an annotated hot path.
+//
+//vetsparse:allocfree
+func badRingGrow(r *ring, v int) {
+	r.buf = append(r.buf, v) // want `append may grow the backing array`
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+// CompareOptions configures the scheduler head-to-head: one seeded bursty
+// workload of sparse-grid family solves, replayed bit-for-bit identically
+// through the static pool, the work-stealing scheduler, and the stealing
+// scheduler with elastic team cores.
+type CompareOptions struct {
+	// Jobs is the number of family solves in the workload.
+	Jobs int
+	// Burst is how many jobs are released concurrently per burst; the
+	// burstiness is what gives idle executors something to steal.
+	Burst int
+	// Pause separates consecutive bursts.
+	Pause time.Duration
+	// Seed drives the job mix and the per-job steal seeds.
+	Seed int64
+	// Executors caps the executors per job (0 = GOMAXPROCS).
+	Executors int
+	// Tol is the integrator tolerance of every job.
+	Tol float64
+	// Runs repeats each side and keeps the fastest (minimum is the robust
+	// wall-clock estimator); <= 1 measures once.
+	Runs int
+}
+
+// DefaultCompareOptions is the BENCH_7.json workload: three bursts of
+// eight mixed-size family solves, paper problem, loose tolerance.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{
+		Jobs: 24, Burst: 8, Pause: 2 * time.Millisecond,
+		Seed: 42, Tol: 1e-2, Runs: 3,
+	}
+}
+
+// compareJob is one family solve of the workload.
+type compareJob struct {
+	root, level int
+	stealSeed   int64
+}
+
+// compareWorkload derives the seeded job mix: root 2 throughout, levels
+// alternating pseudo-randomly between 1 and 2 so family sizes (3 vs 5
+// grids) and per-grid weights differ across the burst.
+func compareWorkload(o CompareOptions) []compareJob {
+	jobs := make([]compareJob, o.Jobs)
+	x := uint64(o.Seed)*0x9E3779B97F4A7C15 + 1
+	for i := range jobs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		jobs[i] = compareJob{root: 2, level: 1 + int(x%2), stealSeed: o.Seed + int64(i)}
+	}
+	return jobs
+}
+
+// CompareSide is one scheduler's measurement over the whole workload.
+type CompareSide struct {
+	Schedule  string  `json:"schedule"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Thru      float64 `json:"throughput_jobs_per_s"`
+	Steals    int64   `json:"steals"`
+	Donations int64   `json:"donations"`
+	Resizes   int64   `json:"resizes"`
+	Speedup   float64 `json:"speedup_vs_pool"`
+
+	hashes [][32]byte
+}
+
+// CompareReport is the BENCH_7.json shape.
+type CompareReport struct {
+	PR           int         `json:"pr"`
+	Bench        string      `json:"bench"`
+	Go           string      `json:"go"`
+	HostCPUs     int         `json:"host_cpus"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	ScalingValid bool        `json:"scaling_valid"`
+	Load         CompareLoad `json:"load"`
+
+	Pool    CompareSide `json:"pool"`
+	Steal   CompareSide `json:"steal"`
+	Elastic CompareSide `json:"steal_elastic"`
+
+	// BitIdentical is the determinism oracle: every job's output hashed
+	// identically under all three schedules (and across repeat runs).
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// CompareLoad records the workload parameters in the report.
+type CompareLoad struct {
+	Jobs      int     `json:"jobs"`
+	Burst     int     `json:"burst"`
+	PauseMs   float64 `json:"pause_ms"`
+	Seed      int64   `json:"seed"`
+	Executors int     `json:"executors"`
+	Tol       float64 `json:"tol"`
+	Runs      int     `json:"runs"`
+}
+
+// hashCompareOutput digests every float of a run bit-exactly, the same
+// oracle the solver determinism suite uses.
+func hashCompareOutput(out *solver.Output) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v linalg.Vector) {
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	put(out.Combined.V)
+	for _, r := range out.Results {
+		put(r.U)
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// compareSideOnce replays the workload through one schedule: bursts of
+// concurrent family solves separated by the pause, wall-clock timed end to
+// end. Steal/donation/resize totals are summed over every job.
+func compareSideOnce(o CompareOptions, jobs []compareJob, sched solver.Schedule) (CompareSide, error) {
+	side := CompareSide{Schedule: sched.String(), hashes: make([][32]byte, len(jobs))}
+	errs := make([]error, len(jobs))
+	stats := make([]solver.SchedStats, len(jobs))
+
+	t0 := time.Now()
+	for at := 0; at < len(jobs); at += o.Burst {
+		end := at + o.Burst
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		var wg sync.WaitGroup
+		for i := at; i < end; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				j := jobs[i]
+				p := solver.Params{
+					Root: j.root, Level: j.level, Tol: o.Tol,
+					Schedule: sched, Executors: o.Executors, StealSeed: j.stealSeed,
+				}
+				out, err := solver.Concurrent(p)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				side.hashes[i] = hashCompareOutput(out)
+				stats[i] = out.Sched
+			}(i)
+		}
+		wg.Wait()
+		if end < len(jobs) && o.Pause > 0 {
+			time.Sleep(o.Pause)
+		}
+	}
+	elapsed := time.Since(t0)
+
+	for i, err := range errs {
+		if err != nil {
+			return side, fmt.Errorf("bench: %s job %d: %w", sched, i, err)
+		}
+	}
+	for _, s := range stats {
+		side.Steals += int64(s.Steals)
+		side.Donations += int64(s.Donations)
+		side.Resizes += int64(s.Resizes)
+	}
+	side.ElapsedMs = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		side.Thru = float64(len(jobs)) / elapsed.Seconds()
+	}
+	return side, nil
+}
+
+// compareSide repeats one schedule's replay and keeps the fastest run's
+// timing; the steal ledger and hashes of every repeat must agree with the
+// kept run's workload semantics (hashes are checked, tallies may differ —
+// scheduling decides how many steals happen, not what is computed).
+func compareSide(o CompareOptions, jobs []compareJob, sched solver.Schedule) (CompareSide, error) {
+	var best CompareSide
+	for r := 0; r < o.Runs; r++ {
+		side, err := compareSideOnce(o, jobs, sched)
+		if err != nil {
+			return side, err
+		}
+		if r == 0 {
+			best = side
+			continue
+		}
+		for i := range side.hashes {
+			if side.hashes[i] != best.hashes[i] {
+				return side, fmt.Errorf("bench: %s job %d hash differs across repeat runs", sched, i)
+			}
+		}
+		if side.ElapsedMs < best.ElapsedMs {
+			best = side
+		}
+	}
+	return best, nil
+}
+
+// CompareSchedules runs the coordination head-to-head: the identical seeded bursty
+// workload through pool, steal, and steal+elastic, with per-job bit
+// identity checked across all three.
+func CompareSchedules(o CompareOptions) (*CompareReport, error) {
+	linalg.Calibrate()
+	if o.Jobs < 1 {
+		o.Jobs = 1
+	}
+	if o.Burst < 1 {
+		o.Burst = 1
+	}
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	jobs := compareWorkload(o)
+
+	rep := &CompareReport{
+		PR: 9, Bench: "sched_headtohead",
+		Go: runtime.Version(), HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ScalingValid: runtime.NumCPU() > 1,
+		Load: CompareLoad{
+			Jobs: o.Jobs, Burst: o.Burst, PauseMs: float64(o.Pause.Microseconds()) / 1e3,
+			Seed: o.Seed, Executors: o.Executors, Tol: o.Tol, Runs: o.Runs,
+		},
+	}
+
+	var err error
+	if rep.Pool, err = compareSide(o, jobs, solver.SchedulePool); err != nil {
+		return nil, err
+	}
+	if rep.Steal, err = compareSide(o, jobs, solver.ScheduleSteal); err != nil {
+		return nil, err
+	}
+	if rep.Elastic, err = compareSide(o, jobs, solver.ScheduleStealElastic); err != nil {
+		return nil, err
+	}
+
+	rep.BitIdentical = true
+	for i := range jobs {
+		if rep.Steal.hashes[i] != rep.Pool.hashes[i] || rep.Elastic.hashes[i] != rep.Pool.hashes[i] {
+			rep.BitIdentical = false
+			break
+		}
+	}
+	rep.Pool.Speedup = 1
+	if rep.Pool.ElapsedMs > 0 {
+		rep.Steal.Speedup = rep.Pool.ElapsedMs / rep.Steal.ElapsedMs
+		rep.Elastic.Speedup = rep.Pool.ElapsedMs / rep.Elastic.ElapsedMs
+	}
+	return rep, nil
+}
+
+// WriteCompare renders the head-to-head as a small table plus the
+// determinism verdict.
+func WriteCompare(w io.Writer, rep *CompareReport) error {
+	if _, err := fmt.Fprintf(w, "scheduler head-to-head: %d jobs, bursts of %d, seed %d (host: GOMAXPROCS=%d, NumCPU=%d, scaling_valid=%v)\n",
+		rep.Load.Jobs, rep.Load.Burst, rep.Load.Seed, rep.GOMAXPROCS, rep.HostCPUs, rep.ScalingValid); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%14s | %10s | %8s | %7s | %9s | %8s | %8s\n",
+		"schedule", "elapsed ms", "jobs/s", "steals", "donations", "resizes", "speedup"); err != nil {
+		return err
+	}
+	for _, s := range []CompareSide{rep.Pool, rep.Steal, rep.Elastic} {
+		if _, err := fmt.Fprintf(w, "%14s | %10.3f | %8.2f | %7d | %9d | %8d | %8.2f\n",
+			s.Schedule, s.ElapsedMs, s.Thru, s.Steals, s.Donations, s.Resizes, s.Speedup); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "bit_identical: %v\n", rep.BitIdentical)
+	return err
+}
+
+// WriteCompareJSON writes the report as indented JSON to the named file.
+func WriteCompareJSON(path string, rep *CompareReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

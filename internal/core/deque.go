@@ -1,0 +1,120 @@
+package core
+
+import "sync"
+
+// Deque is a mutex-guarded work-stealing deque: the owning executor pushes
+// and pops at the back (LIFO, so an owner seeded in ascending cost order
+// pops its heaviest work first), thieves steal from the front (FIFO, so a
+// thief takes the oldest — for a cost-sorted seed, the lightest — queued
+// item, the one the owner would reach last). A plain mutex over a ring
+// buffer is deliberate: the items are whole subsolves costing milliseconds
+// to seconds, so a lock-free Chase-Lev deque would buy nothing but
+// subtlety. The zero value is empty and ready to use.
+//
+// The steady-state Push/Pop/Steal cycle is allocation-free: the ring grows
+// only when Push outruns capacity, which a scheduler seeding the deque
+// once up front (NewDeque with the task count) never hits.
+type Deque[T any] struct {
+	mu   sync.Mutex
+	ring []T
+	head int // index of the front item (steal end)
+	size int
+}
+
+// NewDeque returns a deque with capacity for n items before any grow.
+func NewDeque[T any](n int) *Deque[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Deque[T]{ring: make([]T, n)}
+}
+
+// Len returns the current number of queued items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	n := d.size
+	d.mu.Unlock()
+	return n
+}
+
+// Push adds v at the back (the owner's end).
+//
+//vetsparse:allocfree
+func (d *Deque[T]) Push(v T) {
+	d.mu.Lock()
+	if d.size == len(d.ring) {
+		d.grow()
+	}
+	d.ring[(d.head+d.size)%len(d.ring)] = v
+	d.size++
+	d.mu.Unlock()
+}
+
+// Pop removes and returns the back item (the owner's end, LIFO). It
+// reports false when the deque is empty.
+//
+//vetsparse:allocfree
+func (d *Deque[T]) Pop() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.size == 0 {
+		d.mu.Unlock()
+		return zero, false
+	}
+	d.size--
+	i := (d.head + d.size) % len(d.ring)
+	v := d.ring[i]
+	d.ring[i] = zero
+	d.mu.Unlock()
+	return v, true
+}
+
+// Steal removes and returns the front item (the thief's end, FIFO). It
+// reports false when the deque is empty.
+//
+//vetsparse:allocfree
+func (d *Deque[T]) Steal() (T, bool) {
+	var alwaysTrue func(T) bool
+	return d.stealIf(alwaysTrue)
+}
+
+// StealIf removes and returns the front item only if pred accepts it,
+// atomically under the deque lock — the cost-model guardrail: a thief
+// inspects the candidate's weight and either takes it or leaves the deque
+// untouched, with no window for the item to change hands in between.
+//
+//vetsparse:allocfree
+func (d *Deque[T]) StealIf(pred func(T) bool) (T, bool) {
+	return d.stealIf(pred)
+}
+
+//vetsparse:allocfree
+func (d *Deque[T]) stealIf(pred func(T) bool) (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.size == 0 {
+		d.mu.Unlock()
+		return zero, false
+	}
+	v := d.ring[d.head]
+	if pred != nil && !pred(v) {
+		d.mu.Unlock()
+		return zero, false
+	}
+	d.ring[d.head] = zero
+	d.head = (d.head + 1) % len(d.ring)
+	d.size--
+	d.mu.Unlock()
+	return v, true
+}
+
+// grow doubles the ring, unwrapping the items into the new backing array.
+// Called under d.mu; isolated so the Push fast path stays allocation-free.
+func (d *Deque[T]) grow() {
+	next := make([]T, 2*len(d.ring))
+	for i := 0; i < d.size; i++ {
+		next[i] = d.ring[(d.head+i)%len(d.ring)]
+	}
+	d.ring = next
+	d.head = 0
+}

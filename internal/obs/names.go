@@ -55,6 +55,8 @@ var EventDocs = []EventDoc{
 	{[]Kind{KCacheHit, KCacheMiss}, "`serve` solver cache on checkout (Actor is the signature)", "—"},
 	{[]Kind{KCacheEvict}, "`serve` solver cache keeping its entry/byte bounds", "evicted entry bytes"},
 	{[]Kind{KExecScale}, "`serve` executor autoscaler on a pool resize", "old workers, new workers"},
+	{[]Kind{KSteal}, "work-stealing schedulers (`solver.concurrentSteal`, `serve` batch workers; Aux is the victim)", "solver: grid index, modelled megacycles; serve: batch size, 0"},
+	{[]Kind{KTeamResize}, "`solver` resize observer when an elastic `linalg.Team` applies a `SetTarget`", "old team size, new team size"},
 }
 
 // MetricDoc documents one registered metric name. A `<grid>` segment marks
@@ -104,6 +106,10 @@ var MetricDocs = []MetricDoc{
 	{"serve.exec.scales", "counter", "autoscaler pool resizes"},
 	{"solver.subsolve.<grid>.cores", "histogram", "team size used per subsolve of the grid"},
 	{"solver.subsolve.<grid>.us", "histogram", "per-grid subsolve duration, e.g. `solver.subsolve.grid(1,2;root=2).us`"},
+	{"solver.steals", "counter", "queued grids taken by an idle executor instead of their seeded owner"},
+	{"solver.steal.mc", "histogram", "modelled megacycles of each stolen grid (how heavy the moved work was)"},
+	{"serve.batch.steals", "counter", "flushed batches taken by an idle batch worker instead of their affinity owner"},
+	{"linalg.team.resize.us", "histogram", "SetTarget-to-application latency of elastic team resizes"},
 }
 
 // ProtocolEvents are the canonical manifold event names of the

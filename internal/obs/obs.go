@@ -183,6 +183,15 @@ const (
 	// the previous worker count, B the new one.
 	KExecScale
 
+	// KSteal marks one queued task stolen by an idle executor; Actor is
+	// the thief, Aux the victim, A the task index, B the task's modelled
+	// megacycles.
+	KSteal
+	// KTeamResize marks an elastic team resize applied at a dispatch
+	// boundary; Actor is the resized executor, A the old team size, B
+	// the new one.
+	KTeamResize
+
 	kindCount // number of kinds; keep last
 )
 
@@ -229,6 +238,8 @@ var kindNames = [...]string{
 	KCacheMiss:       "serve.cache.miss",
 	KCacheEvict:      "serve.cache.evict",
 	KExecScale:       "serve.exec.scale",
+	KSteal:           "solver.steal",
+	KTeamResize:      "linalg.team.resize",
 }
 
 // String returns the dotted event name, e.g. "job.dispatch".
@@ -265,6 +276,10 @@ func (k Kind) source() string {
 		return "cache.go"
 	case KExecScale:
 		return "exec.go"
+	case KSteal:
+		return "steal.go"
+	case KTeamResize:
+		return "team.go"
 	}
 	return "obs.go"
 }

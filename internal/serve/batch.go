@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -57,6 +58,14 @@ type pendingBatch struct {
 // Amortization is the whole design: tasks of one batch share the worker's
 // team (no per-request pool/team setup) and, through the solver cache,
 // the discretization and factorization of their shape.
+//
+// Batches are routed by signature affinity — the same shape always lands
+// on the same worker's deque, keeping its team and cache checkouts warm —
+// and idle workers steal whole batches from their neighbors' deques, so
+// a skewed signature mix cannot leave workers idle while one deque backs
+// up. A token channel carries readiness: every dispatched batch sends one
+// token, every token wakes one worker for one sweep (own deque first,
+// then the others in index rotation).
 type batcher struct {
 	window  time.Duration
 	maxSize int
@@ -73,16 +82,21 @@ type batcher struct {
 	gen     uint64
 	closed  bool
 
-	flushq chan []*subTask
+	deques []*core.Deque[[]*subTask]
+	tokens chan struct{}
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
-	cTasks, cFlushes *obs.Counter
-	hSize, hWait     *obs.Histogram
+	cTasks, cFlushes, cSteals *obs.Counter
+	hSize, hWait              *obs.Histogram
 }
 
 func newBatcher(cfg Config, rec *obs.Recorder, cache *solverCache, now func() time.Time) *batcher {
-	return &batcher{
+	workers := cfg.BatchWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	b := &batcher{
 		window:  cfg.BatchWindow,
 		maxSize: cfg.BatchSize,
 		margin:  cfg.BatchMargin,
@@ -92,21 +106,39 @@ func newBatcher(cfg Config, rec *obs.Recorder, cache *solverCache, now func() ti
 		rec:     rec,
 		cache:   cache,
 		pending: make(map[signature]*pendingBatch),
-		flushq:  make(chan []*subTask, cfg.QueueDepth),
+		deques:  make([]*core.Deque[[]*subTask], workers),
+		tokens:  make(chan struct{}, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 
 		cTasks:   rec.Counter("serve.batch.tasks"),
 		cFlushes: rec.Counter("serve.batch.flushes"),
+		cSteals:  rec.Counter("serve.batch.steals"),
 		hSize:    rec.Histogram("serve.batch.size"),
 		hWait:    rec.Histogram("serve.batch.wait.us"),
 	}
+	for i := range b.deques {
+		b.deques[i] = core.NewDeque[[]*subTask](cfg.QueueDepth)
+	}
+	return b
 }
 
-func (b *batcher) start(workers int) {
-	for i := 0; i < workers; i++ {
+func (b *batcher) start() {
+	for i := range b.deques {
 		b.wg.Add(1)
 		go b.worker(i)
 	}
+}
+
+// home is the affinity route of a signature: an FNV-1a hash over the
+// signature string picks the worker whose deque, team, and cache
+// checkouts stay warm for that shape.
+func (b *batcher) home(sigStr string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(sigStr); i++ {
+		h ^= uint32(sigStr[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(b.deques)))
 }
 
 // enqueue adds a task to its signature's pending batch, flushing on size
@@ -190,23 +222,57 @@ func (b *batcher) detachLocked(sig signature, pb *pendingBatch) {
 }
 
 // dispatch hands a detached batch to the workers: one flush event, one
-// counter increment, one size observation per batch.
+// counter increment, one size observation per batch. The batch lands on
+// its signature's affinity deque, then one readiness token wakes a
+// worker; the push precedes the token send, so any worker woken by the
+// token is guaranteed to find a batch somewhere in its sweep.
 func (b *batcher) dispatch(pb *pendingBatch, reason string) {
 	b.cFlushes.Inc()
 	b.hSize.Observe(int64(len(pb.tasks)))
 	b.rec.Emit(obs.KBatchFlush, pb.sigStr, reason, int64(len(pb.tasks)), b.now().Sub(pb.created).Microseconds())
+	home := b.home(pb.sigStr)
+	b.deques[home].Push(pb.tasks)
 	select {
-	case b.flushq <- pb.tasks:
+	case b.tokens <- struct{}{}:
 	case <-b.quit:
-		for _, t := range pb.tasks {
-			t.out <- subResult{idx: t.idx, err: errBatcherClosed}
+		// Shutdown won the race: no token was issued for the pushed
+		// batch, so fail whatever the home deque still holds (a live
+		// worker that steals first simply fails or finishes the batch
+		// itself — deque consumption is exclusive either way).
+		for {
+			tasks, ok := b.deques[home].Steal()
+			if !ok {
+				return
+			}
+			for _, t := range tasks {
+				t.out <- subResult{idx: t.idx, err: errBatcherClosed}
+			}
 		}
 	}
 }
 
+// take gives worker i one batch: its own deque first (affinity), then a
+// steal sweep over the neighbors in index rotation. A false return means
+// another worker's sweep got to the batch first — the caller just drops
+// its token.
+func (b *batcher) take(i int) ([]*subTask, int, bool) {
+	if tasks, ok := b.deques[i].Pop(); ok {
+		return tasks, i, true
+	}
+	n := len(b.deques)
+	for k := 1; k < n; k++ {
+		v := (i + k) % n
+		if tasks, ok := b.deques[v].Steal(); ok {
+			return tasks, v, true
+		}
+	}
+	return nil, 0, false
+}
+
 // worker owns one persistent team for its whole life and runs batches in
-// arrival order. On quit it fails whatever is still queued so no request
-// is left waiting on a dead batcher.
+// arrival order — its own signature-affine batches first, stolen ones
+// when its deque runs dry. On quit it fails whatever is still queued so
+// no request is left waiting on a dead batcher.
 func (b *batcher) worker(i int) {
 	defer b.wg.Done()
 	team := linalg.NewTeam(b.teamN)
@@ -215,17 +281,27 @@ func (b *batcher) worker(i int) {
 	for {
 		select {
 		case <-b.quit:
-			for {
-				select {
-				case tasks := <-b.flushq:
+			for _, dq := range b.deques {
+				for {
+					tasks, ok := dq.Steal()
+					if !ok {
+						break
+					}
 					for _, t := range tasks {
 						t.out <- subResult{idx: t.idx, err: errBatcherClosed}
 					}
-				default:
-					return
 				}
 			}
-		case tasks := <-b.flushq:
+			return
+		case <-b.tokens:
+			tasks, victim, ok := b.take(i)
+			if !ok {
+				continue
+			}
+			if victim != i {
+				b.cSteals.Inc()
+				b.rec.Emit(obs.KSteal, actor, "batch-"+strconv.Itoa(victim), int64(len(tasks)), 0)
+			}
 			for _, t := range tasks {
 				b.runTask(actor, team, t)
 			}

@@ -90,6 +90,7 @@ func checkBatchLedger(t *testing.T, s *Server) {
 	}{
 		{"serve.batch.tasks", obs.KBatchTask},
 		{"serve.batch.flushes", obs.KBatchFlush},
+		{"serve.batch.steals", obs.KSteal},
 		{"serve.cache.hits", obs.KCacheHit},
 		{"serve.cache.misses", obs.KCacheMiss},
 		{"serve.cache.evictions", obs.KCacheEvict},
@@ -239,6 +240,55 @@ func TestBatcherFlushReasons(t *testing.T) {
 	if tk2, _ := task(far); b.enqueue(tk2) != errBatcherClosed {
 		t.Fatal("enqueue after close must fail with errBatcherClosed")
 	}
+}
+
+// TestBatchSteal pins the batch work-stealing path deterministically: only
+// the worker that is NOT the signature's affinity home is started, so every
+// batch it runs must have been stolen off the home deque. Results still
+// arrive intact, and the steal counter and solver.steal event tally agree
+// exactly with the number of flushed batches.
+func TestBatchSteal(t *testing.T) {
+	cfg := Config{
+		BatchWindow: time.Hour, BatchMargin: time.Millisecond,
+		BatchSize: 1, BatchWorkers: 2, QueueDepth: 16,
+	}.withDefaults()
+	rec := obs.NewRecorder(0)
+	b := newBatcher(cfg, rec, newSolverCache(cfg, rec, pde.PaperProblem()), time.Now)
+
+	g := grid.Family(1, 0)[0]
+	sig := signature{g: g, lin: rosenbrock.BiCGStab}
+	thief := (b.home(sig.String()) + 1) % len(b.deques)
+	b.wg.Add(1)
+	go b.worker(thief)
+
+	const batches = 3
+	out := make(chan subResult, batches)
+	for i := 0; i < batches; i++ {
+		tk := &subTask{
+			sig: sig, sigStr: sig.String(), idx: i, tol: 1e-2,
+			deadline: time.Now().Add(time.Minute), out: out,
+		}
+		if err := b.enqueue(tk); err != nil { // BatchSize=1: flushes at once
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < batches; i++ {
+		select {
+		case r := <-out:
+			if r.err != nil {
+				t.Fatalf("stolen batch %d failed: %v", r.idx, r.err)
+			}
+		case <-time.After(time.Minute):
+			t.Fatal("stolen batch result never arrived")
+		}
+	}
+	if got := rec.Counter("serve.batch.steals").Value(); got != batches {
+		t.Fatalf("serve.batch.steals = %d, want %d", got, batches)
+	}
+	if got := rec.KindCount(obs.KSteal); got != batches {
+		t.Fatalf("solver.steal events = %d, want %d", got, batches)
+	}
+	b.close(true)
 }
 
 // TestAutoscaler checks the pool grows with queued estimated work, shrinks

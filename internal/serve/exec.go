@@ -32,7 +32,7 @@ func (s *Server) Start() {
 	}
 	s.gExecTarget.Set(int64(s.cfg.Executors))
 	if s.batch != nil {
-		s.batch.start(s.cfg.BatchWorkers)
+		s.batch.start()
 	}
 	if s.shrink != nil {
 		s.execWG.Add(1)

@@ -55,9 +55,13 @@ func coresUnderTest() []int {
 	return cores
 }
 
-// TestDeterminismAcrossCores is the PR's acceptance test: Sequential and
-// Concurrent produce SHA-256-identical output at every team size, for all
-// three linear solvers, with the parallel kernel paths forced on.
+// TestDeterminismAcrossCores is the PR's acceptance test: Sequential,
+// Concurrent (static pool), and both work-stealing schedules produce
+// SHA-256-identical output at every team size, for all three linear
+// solvers, with the parallel kernel paths forced on. The stealing
+// variants run with several executors and no guardrail, so steals — and,
+// for the elastic variant, core donations with mid-run team resizes —
+// actually happen and are proven output-neutral.
 func TestDeterminismAcrossCores(t *testing.T) {
 	lowerParMins(t)
 	for _, lin := range []rosenbrock.LinearSolver{rosenbrock.BiCGStab, rosenbrock.GMRES, rosenbrock.ILU} {
@@ -79,12 +83,20 @@ func TestDeterminismAcrossCores(t *testing.T) {
 				if got := hashOutput(t, seq); got != want {
 					t.Errorf("Sequential(cores=%d) output differs from cores=1", c)
 				}
-				conc, err := Concurrent(p)
-				if err != nil {
-					t.Fatalf("Concurrent(cores=%d): %v", c, err)
-				}
-				if got := hashOutput(t, conc); got != want {
-					t.Errorf("Concurrent(cores=%d) output differs from Sequential(cores=1)", c)
+				for _, sched := range []Schedule{SchedulePool, ScheduleSteal, ScheduleStealElastic} {
+					p.Schedule = sched
+					p.Executors = 0
+					if sched != SchedulePool {
+						p.Executors = 3
+						p.StealSeed = 42
+					}
+					conc, err := Concurrent(p)
+					if err != nil {
+						t.Fatalf("Concurrent(%v, cores=%d): %v", sched, c, err)
+					}
+					if got := hashOutput(t, conc); got != want {
+						t.Errorf("Concurrent(%v, cores=%d) output differs from Sequential(cores=1)", sched, c)
+					}
 				}
 			}
 		})

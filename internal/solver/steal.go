@@ -1,0 +1,351 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/rosenbrock"
+	"repro/internal/workmodel"
+)
+
+// Schedule selects the coordination strategy of the concurrent driver.
+type Schedule int
+
+const (
+	// SchedulePool is the paper's restructuring: a static master/worker
+	// pool, one worker per grid, cores apportioned up front by the
+	// workmodel. The only schedule that supports fault injection,
+	// retries, and graceful degradation.
+	SchedulePool Schedule = iota
+	// ScheduleSteal runs a deque-per-executor work-stealing scheduler:
+	// grids are placed by the cost model (LPT), and an executor whose
+	// deque runs dry steals queued grids from seeded victims.
+	ScheduleSteal
+	// ScheduleStealElastic is ScheduleSteal plus elastic team cores: an
+	// executor that runs out of work donates its cores to the busiest
+	// running neighbor, whose linalg.Team grows at its next dispatch
+	// boundary.
+	ScheduleStealElastic
+)
+
+// String names the schedule for benches and flags.
+func (s Schedule) String() string {
+	switch s {
+	case SchedulePool:
+		return "pool"
+	case ScheduleSteal:
+		return "steal"
+	case ScheduleStealElastic:
+		return "steal+elastic"
+	}
+	return fmt.Sprintf("schedule(%d)", int(s))
+}
+
+// ParseSchedule maps a flag value to a Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "pool":
+		return SchedulePool, nil
+	case "steal":
+		return ScheduleSteal, nil
+	case "steal+elastic", "elastic":
+		return ScheduleStealElastic, nil
+	}
+	return 0, fmt.Errorf("solver: unknown schedule %q (want pool, steal, steal+elastic)", s)
+}
+
+// SchedStats accounts one work-stealing run.
+type SchedStats struct {
+	// Executors is the number of executor goroutines the run used.
+	Executors int
+	// Steals counts queued grids taken by a non-owner executor.
+	Steals int
+	// Donations counts exiting executors that handed their cores to a
+	// running neighbor (elastic schedule only).
+	Donations int
+	// Resizes counts elastic team resizes actually applied at a
+	// dispatch boundary (a donation whose target finishes first is
+	// dropped, so Resizes <= Donations).
+	Resizes int
+}
+
+// Metric names of the work-stealing scheduler.
+const (
+	stealCtrName    = "solver.steals"
+	stealMcHistName = "solver.steal.mc"
+	resizeHistName  = "linalg.team.resize.us"
+)
+
+// resizeObs adapts the run's recorder to linalg.ResizeObserver: each
+// applied elastic resize is counted, emitted as a linalg.team.resize
+// event, and its SetTarget-to-application latency recorded.
+type resizeObs struct {
+	rec   *obs.Recorder
+	actor string
+	count *atomic.Int64
+}
+
+func (o *resizeObs) ObserveResize(us int64, from, to int) {
+	o.count.Add(1)
+	if o.rec != nil {
+		o.rec.Emit(obs.KTeamResize, o.actor, "", int64(from), int64(to))
+		o.rec.Histogram(resizeHistName).Observe(us)
+	}
+}
+
+// stealPlace seeds the per-executor deques; a test hook replaces it to
+// force pathological placements (the steal-storm test piles every grid
+// onto executor 0).
+var stealPlace = workmodel.PlaceLPT
+
+// stealRun is the shared state of one work-stealing run.
+type stealRun struct {
+	p       Params
+	fam     []grid.Grid
+	weights []float64
+	deques  []*core.Deque[int]
+	teams   []*linalg.Team
+	actors  []string
+
+	// mu guards the elastic-donation ledger.
+	mu      sync.Mutex
+	cores   []int // cores currently owned by each executor
+	running []int // family index each executor is solving, -1 when idle
+	done    []bool
+
+	steals    atomic.Int64
+	donations atomic.Int64
+	resizes   atomic.Int64
+
+	results []Result // indexed by family position; disjoint writers
+	errOnce sync.Once
+	err     error
+	failed  atomic.Int32
+}
+
+// concurrentSteal runs the family under the work-stealing scheduler: E
+// executors, each owning a deque seeded by cost-model LPT placement in
+// ascending-weight order (the owner pops its heaviest grid first, thieves
+// steal the lightest — the cheapest work to move). Initial placement is
+// cost-model-guided, so with an accurate model steals are the exception:
+// they happen exactly when reality diverges from the model or when the
+// elastic schedule frees cores early. Results are recorded by family
+// index and combined in family order on a master team, so the output is
+// bit-for-bit identical to Sequential and to the pool schedule at any
+// executor count, team size, and steal pattern.
+func concurrentSteal(p Params) (*Output, error) {
+	fam := grid.Family(p.Root, p.Level)
+	model := workmodel.Paper()
+	weights := make([]float64, len(fam))
+	for i, g := range fam {
+		weights[i] = model.GridWork(g, p.Tol)
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	e := p.Executors
+	if e <= 0 {
+		e = procs
+	}
+	if e > len(fam) {
+		e = len(fam)
+	}
+	if e < 1 {
+		e = 1
+	}
+
+	sr := &stealRun{
+		p:       p,
+		fam:     fam,
+		weights: weights,
+		deques:  make([]*core.Deque[int], e),
+		teams:   make([]*linalg.Team, e),
+		actors:  make([]string, e),
+		cores:   make([]int, e),
+		running: make([]int, e),
+		done:    make([]bool, e),
+		results: make([]Result, len(fam)),
+	}
+
+	// Cost-model-guided placement, then a core budget per executor
+	// proportional to its queue's modelled work (mirroring the pool
+	// schedule's per-grid apportionment at executor granularity).
+	queues := stealPlace(e, weights)
+	if p.CoresPerWorker > 0 {
+		for i := range sr.cores {
+			sr.cores[i] = p.CoresPerWorker
+		}
+	} else {
+		execWork := make([]float64, e)
+		for i, q := range queues {
+			for _, task := range q {
+				execWork[i] += weights[task]
+			}
+		}
+		copy(sr.cores, workmodel.Allocate(procs, execWork))
+	}
+	for i, q := range queues {
+		sr.deques[i] = core.NewDeque[int](len(fam))
+		for _, task := range q {
+			sr.deques[i].Push(task)
+		}
+		sr.running[i] = -1
+		sr.actors[i] = fmt.Sprintf("steal-%d", i)
+		// Teams are created up front, owner-side of nothing yet: the
+		// executor goroutine inherits ownership at spawn, and donors
+		// only ever touch the cross-goroutine-safe SetTarget.
+		sr.teams[i] = p.newTeam(sr.cores[i])
+		sr.teams[i].SetResizeObserver(&resizeObs{rec: p.Obs, actor: sr.actors[i], count: &sr.resizes})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(e)
+	for i := 0; i < e; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sr.executor(i)
+		}(i)
+	}
+	wg.Wait()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	team := p.newTeam(p.teamSize())
+	defer team.Close()
+	out, err := combine(p, sr.results, team)
+	if err != nil {
+		return nil, err
+	}
+	out.Sched = SchedStats{
+		Executors: e,
+		Steals:    int(sr.steals.Load()),
+		Donations: int(sr.donations.Load()),
+		Resizes:   int(sr.resizes.Load()),
+	}
+	return out, nil
+}
+
+// executor is the body of one work-stealing executor: pop the own deque
+// (heaviest first), steal when dry, and on exit donate cores (elastic
+// schedule). Each executor owns its workspace and team for the whole run,
+// so solver buffers are never shared.
+func (sr *stealRun) executor(e int) {
+	team := sr.teams[e]
+	defer team.Close()
+	ws := rosenbrock.NewWorkspace()
+	ws.SetTeam(team)
+	p := sr.p
+
+	// Seeded victim-probe rotation (xorshift64*; must be nonzero).
+	rng := uint64(p.StealSeed)*0x9E3779B97F4A7C15 + uint64(e)*0xBF58476D1CE4E5B9 + 1
+
+	for sr.failed.Load() == 0 {
+		idx, ok := sr.deques[e].Pop()
+		if !ok {
+			idx, ok = sr.steal(e, &rng)
+		}
+		if !ok {
+			break
+		}
+		sr.setRunning(e, idx)
+		res, err := timedSubsolve(p.Obs, sr.actors[e], sr.fam[idx], p.Problem, p.Tol, p.TEnd, p.Solver, ws, team.Size())
+		if err != nil {
+			sr.fail(err)
+			break
+		}
+		sr.results[idx] = res
+	}
+	sr.exit(e)
+}
+
+// steal probes the other executors' deques in a seeded rotation and takes
+// the front (lightest) grid of the first victim that has one above the
+// cost-model guardrail. The predicate runs under the victim deque's lock,
+// so the inspected grid cannot change hands between the check and the
+// take.
+func (sr *stealRun) steal(e int, rng *uint64) (int, bool) {
+	n := len(sr.deques)
+	if n == 1 {
+		return 0, false
+	}
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	start := int(x % uint64(n))
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == e {
+			continue
+		}
+		idx, ok := sr.deques[v].StealIf(func(task int) bool {
+			return sr.weights[task] >= sr.p.StealMinMc
+		})
+		if !ok {
+			continue
+		}
+		sr.steals.Add(1)
+		if rec := sr.p.Obs; rec != nil {
+			rec.Counter(stealCtrName).Add(1)
+			rec.Histogram(stealMcHistName).Observe(int64(sr.weights[idx]))
+			rec.Emit(obs.KSteal, sr.actors[e], sr.actors[v], int64(idx), int64(sr.weights[idx]))
+		}
+		return idx, true
+	}
+	return 0, false
+}
+
+func (sr *stealRun) setRunning(e, idx int) {
+	sr.mu.Lock()
+	sr.running[e] = idx
+	sr.mu.Unlock()
+}
+
+func (sr *stealRun) fail(err error) {
+	sr.errOnce.Do(func() { sr.err = err })
+	sr.failed.Store(1)
+}
+
+// exit marks executor e done and, on the elastic schedule, donates its
+// cores to the busiest still-running neighbor — the executor solving the
+// heaviest grid (ties to the lowest index). The neighbor's team grows at
+// its next kernel-dispatch boundary; chunk-aligned ranges are recomputed
+// there, so the resize cannot change results. Exits take the same lock,
+// so a donor that received cores earlier passes the whole accumulated
+// budget on (cascading donation).
+func (sr *stealRun) exit(e int) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.done[e] = true
+	sr.running[e] = -1
+	if sr.p.Schedule != ScheduleStealElastic || sr.cores[e] <= 0 {
+		return
+	}
+	best, bestW := -1, -1.0
+	for i := range sr.done {
+		if i == e || sr.done[i] || sr.running[i] < 0 {
+			continue
+		}
+		if w := sr.weights[sr.running[i]]; w > bestW {
+			best, bestW = i, w
+		}
+	}
+	if best < 0 {
+		return
+	}
+	sr.cores[best] += sr.cores[e]
+	sr.cores[e] = 0
+	target := sr.cores[best]
+	if target > linalg.MaxTeam {
+		target = linalg.MaxTeam
+	}
+	sr.donations.Add(1)
+	sr.teams[best].SetTarget(target)
+}

@@ -1,0 +1,59 @@
+package workmodel
+
+import "sort"
+
+// PlaceLPT distributes task indices across executors by the classic
+// longest-processing-time-first greedy: tasks are visited heaviest first
+// and each lands on the currently least-loaded executor. The result is the
+// initial placement of the work-stealing scheduler — cost-model-guided so
+// steals are the exception, not the protocol. Deterministic: weight ties
+// visit the lower task index first, load ties pick the lower executor.
+//
+// Each executor's queue is returned sorted by ascending weight (ties by
+// ascending index), so a LIFO owner pops its heaviest task first while
+// FIFO thieves steal its lightest — the cheapest item to move.
+func PlaceLPT(executors int, weights []float64) [][]int {
+	if executors < 1 {
+		executors = 1
+	}
+	queues := make([][]int, executors)
+	if len(weights) == 0 {
+		return queues
+	}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := weights[order[a]], weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]float64, executors)
+	for _, task := range order {
+		best := 0
+		for e := 1; e < executors; e++ {
+			if load[e] < load[best] {
+				best = e
+			}
+		}
+		w := weights[task]
+		if w < 0 {
+			w = 0
+		}
+		load[best] += w
+		queues[best] = append(queues[best], task)
+	}
+	for _, q := range queues {
+		sort.Slice(q, func(a, b int) bool {
+			wa, wb := weights[q[a]], weights[q[b]]
+			if wa != wb {
+				return wa < wb
+			}
+			return q[a] < q[b]
+		})
+	}
+	return queues
+}

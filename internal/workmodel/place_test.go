@@ -1,0 +1,63 @@
+package workmodel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlaceLPTBalancesAndSorts(t *testing.T) {
+	//                0   1   2  3  4  5
+	weights := []float64{10, 8, 7, 6, 5, 4}
+	got := PlaceLPT(2, weights)
+	// LPT: 10->e0, 8->e1, 7->e1(15? no: loads 10 vs 8, e1), then 6->e0? loads
+	// 10 vs 15 -> e0, 5 -> e0(16? loads 16 vs 15 -> e1), 4 -> e0? loads 16 vs 20 -> e0.
+	// e0 = {0, 3, 5} (sorted ascending weight: 5,3,0 -> indices 5,3,0)
+	// e1 = {1, 2, 4} (ascending: 4,2,1)
+	want := [][]int{{5, 3, 0}, {4, 2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlaceLPT = %v, want %v", got, want)
+	}
+	// Every task placed exactly once.
+	seen := map[int]int{}
+	for _, q := range got {
+		for _, task := range q {
+			seen[task]++
+		}
+	}
+	if len(seen) != len(weights) {
+		t.Fatalf("placed %d distinct tasks, want %d", len(seen), len(weights))
+	}
+}
+
+func TestPlaceLPTDeterministicTies(t *testing.T) {
+	weights := []float64{3, 3, 3, 3}
+	a := PlaceLPT(2, weights)
+	b := PlaceLPT(2, weights)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("PlaceLPT not deterministic: %v vs %v", a, b)
+	}
+	// Weight ties visit lower indices first; load ties pick executor 0.
+	want := [][]int{{0, 2}, {1, 3}}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("PlaceLPT = %v, want %v", a, want)
+	}
+}
+
+func TestPlaceLPTEdgeCases(t *testing.T) {
+	if got := PlaceLPT(3, nil); len(got) != 3 {
+		t.Fatalf("PlaceLPT(3, nil) = %v, want 3 empty queues", got)
+	}
+	got := PlaceLPT(0, []float64{1, 2}) // executors clamps to 1
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("PlaceLPT(0, ...) = %v, want one queue of 2", got)
+	}
+	// More executors than tasks: surplus queues stay empty, no panic.
+	got = PlaceLPT(4, []float64{2, 1})
+	placed := 0
+	for _, q := range got {
+		placed += len(q)
+	}
+	if placed != 2 {
+		t.Fatalf("placed %d tasks, want 2: %v", placed, got)
+	}
+}

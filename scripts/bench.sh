@@ -56,6 +56,9 @@ run_benches "$@" | tee "$out"
 #   BenchmarkX/sub-4  100  12345 ns/op  67 extra/unit  0 B/op  0 allocs/op
 awk '
 BEGIN { n = 0 }
+# scaling_valid marks whether >1-core rows measure real scaling: on a
+# 1-CPU host they measure dispatch overhead only (see the WARNING above),
+# so downstream consumers must not read speedups out of them.
 $1 ~ /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
@@ -74,6 +77,7 @@ END {
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"host_cpus\": %d,\n", hostcpus
     printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"scaling_valid\": %s,\n", (hostcpus > 1 ? "true" : "false")
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
     printf "  ]\n"
