@@ -1,13 +1,16 @@
-// Command vetsparse is the repo's custom static-analysis gate: four
-// go/analysis-style passes that machine-check the invariants PRs 1–4
+// Command vetsparse is the repo's custom static-analysis gate: seven
+// go/analysis-style passes that machine-check the invariants PRs 1–9
 // established — deterministic numerics (determinism), zero-allocation hot
 // loops (allocfree), exact master/worker protocol accounting (protocol),
-// and a single observability name taxonomy (obsnames). See LINTS.md for
+// a single observability name taxonomy (obsnames), and the flow-sensitive
+// concurrency trio: lockset discipline (locks), goroutine termination
+// (leaks), and request-deadline propagation (deadlines). See LINTS.md for
 // each pass's invariant, diagnostics, and suppression conventions.
 //
 // Run standalone:
 //
 //	go run ./cmd/vetsparse ./...
+//	go run ./cmd/vetsparse -json ./...   # one JSON object per diagnostic line
 //
 // or as a vet tool, which shares go vet's caching and package loading:
 //
@@ -18,7 +21,10 @@ package main
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/passes/allocfree"
+	"repro/internal/analysis/passes/deadlines"
 	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/leaks"
+	"repro/internal/analysis/passes/locks"
 	"repro/internal/analysis/passes/obsnames"
 	"repro/internal/analysis/passes/protocol"
 )
@@ -29,5 +35,8 @@ func main() {
 		allocfree.Analyzer,
 		protocol.Analyzer,
 		obsnames.Analyzer,
+		locks.Analyzer,
+		leaks.Analyzer,
+		deadlines.Analyzer,
 	)
 }

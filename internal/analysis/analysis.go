@@ -92,6 +92,12 @@ type Diagnostic struct {
 	Pos token.Pos
 	// Message states the violated invariant.
 	Message string
+	// Suppressed is set by the driver (never by analyzers) when a
+	// //vetsparse:ignore directive matched the diagnostic. Suppressed
+	// findings are dropped from plain output and the exit status, but
+	// still appear in -json output with "suppressed": true, so tooling
+	// can audit what the directives hide.
+	Suppressed bool
 }
 
 // Validate checks the analyzer set for driver use: non-empty distinct

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a function declaration and returns
+// its CFG (no type info — the builder must work untyped too).
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(c, d bool, n int, ch chan int, quit chan struct{}) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fn.Body, nil)
+}
+
+// calls runs a may-analysis over g collecting the names of functions
+// called on some path, returning the names reaching Exit entry.
+func calls(g *CFG) []string {
+	spec := FlowSpec[map[string]bool]{
+		Init: map[string]bool{},
+		Copy: func(s map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+		Join: func(dst, src map[string]bool) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, s map[string]bool) {
+			InspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+				return true
+			})
+		},
+	}
+	in := Forward(g, spec)
+	state, ok := in[g.Exit]
+	if !ok {
+		return nil
+	}
+	var names []string
+	for k := range state {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	g := parseBody(t, `
+	if c {
+		a()
+	} else {
+		b()
+	}
+	tail()`)
+	got := strings.Join(calls(g), " ")
+	if got != "a b tail" {
+		t.Fatalf("calls reaching exit = %q, want \"a b tail\"", got)
+	}
+}
+
+func TestCFGReturnSkipsTail(t *testing.T) {
+	g := parseBody(t, `
+	if c {
+		early()
+		return
+	}
+	tail()`)
+	// Both the early-return path and the fall-through path reach Exit, so
+	// the may-union holds all three; the point is that the return block's
+	// edge goes to Exit, not to tail's block.
+	var returns int
+	for _, blk := range g.Blocks {
+		if blk.Return {
+			returns++
+			if len(blk.Succs) != 1 || blk.Succs[0] != g.Exit {
+				t.Fatalf("return block succs = %v, want [Exit]", blk.Succs)
+			}
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("return blocks = %d, want 1", returns)
+	}
+	if got := strings.Join(calls(g), " "); got != "early tail" {
+		t.Fatalf("calls reaching exit = %q, want \"early tail\"", got)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := parseBody(t, `
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()`)
+	backEdge := false
+	for _, blk := range g.Blocks {
+		for _, succ := range blk.Succs {
+			if succ.Index < blk.Index && succ != g.Entry {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Fatal("for loop produced no back edge")
+	}
+	if got := strings.Join(calls(g), " "); got != "after body" {
+		t.Fatalf("calls reaching exit = %q, want \"after body\"", got)
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	g := parseBody(t, `
+	pre()
+	select {}
+	post()`)
+	// post() is unreachable: the dispatch block has no successors.
+	if got := calls(g); got != nil {
+		t.Fatalf("calls reaching exit = %v, want none (exit unreachable)", got)
+	}
+	found := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*SelectDispatch); ok {
+				found = true
+				if len(blk.Succs) != 0 {
+					t.Fatalf("select{} block has succs %v, want none", blk.Succs)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no SelectDispatch node in graph")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	g := parseBody(t, `
+	select {
+	case v := <-ch:
+		recv()
+		_ = v
+	case ch <- n:
+		send()
+	default:
+		poll()
+	}
+	after()`)
+	if got := strings.Join(calls(g), " "); got != "after poll recv send" {
+		t.Fatalf("calls reaching exit = %q, want \"after poll recv send\"", got)
+	}
+	if g.Comm == nil || len(g.Comm) != 2 {
+		t.Fatalf("Comm marks %d statements, want 2", len(g.Comm))
+	}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if sd, ok := n.(*SelectDispatch); ok && !sd.HasDefault() {
+				t.Fatal("HasDefault() = false for a select with default")
+			}
+		}
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := parseBody(t, `
+	pre()
+	if c {
+		panic("boom")
+	}
+	post()`)
+	// The panic path contributes nothing to Exit: only pre+post reach it.
+	if got := strings.Join(calls(g), " "); got != "post pre" {
+		t.Fatalf("calls reaching exit = %q, want \"post pre\"", got)
+	}
+	found := false
+	for _, blk := range g.Blocks {
+		if blk.Panics {
+			found = true
+			if len(blk.Succs) != 0 {
+				t.Fatalf("panic block has succs %v, want none", blk.Succs)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Panics block in graph")
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	g := parseBody(t, `
+	defer cleanup()
+	work()`)
+	if len(g.Deferred) != 1 {
+		t.Fatalf("Deferred = %d statements, want 1", len(g.Deferred))
+	}
+}
+
+func TestCFGGotoResolution(t *testing.T) {
+	g := parseBody(t, `
+	i := 0
+loop:
+	step()
+	i++
+	if i < n {
+		goto loop
+	}
+	done()`)
+	if got := strings.Join(calls(g), " "); got != "done step" {
+		t.Fatalf("calls reaching exit = %q, want \"done step\"", got)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := parseBody(t, `
+outer:
+	for {
+		select {
+		case <-quit:
+			break outer
+		case v := <-ch:
+			use(v)
+		}
+	}
+	after()`)
+	if got := strings.Join(calls(g), " "); got != "after use" {
+		t.Fatalf("calls reaching exit = %q, want \"after use\"", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseBody(t, `
+	switch n {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	after()`)
+	if got := strings.Join(calls(g), " "); got != "after one other two" {
+		t.Fatalf("calls reaching exit = %q, want \"after one other two\"", got)
+	}
+}
+
+func TestInspectShallowSkipsFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", `package p
+func f() {
+	outer()
+	g := func() { inner() }
+	g()
+}`, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var seen []string
+	InspectShallow(f.Decls[0].(*ast.FuncDecl).Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				seen = append(seen, id.Name)
+			}
+		}
+		return true
+	})
+	sort.Strings(seen)
+	if got := strings.Join(seen, " "); got != "g outer" {
+		t.Fatalf("InspectShallow saw calls %q, want \"g outer\" (inner must be skipped)", got)
+	}
+}
+
+// TestWalkStateBeforeNode verifies Walk hands visit the state immediately
+// before each node: the call seen at tail() must include both arms.
+func TestWalkStateBeforeNode(t *testing.T) {
+	g := parseBody(t, `
+	if c {
+		a()
+	} else {
+		b()
+	}
+	tail()`)
+	spec := FlowSpec[map[string]bool]{
+		Init: map[string]bool{},
+		Copy: func(s map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+		Join: func(dst, src map[string]bool) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, s map[string]bool) {
+			InspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+				return true
+			})
+		},
+	}
+	in := Forward(g, spec)
+	var atTail map[string]bool
+	Walk(g, in, spec, func(n ast.Node, before map[string]bool) {
+		InspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "tail" {
+					atTail = spec.Copy(before)
+				}
+			}
+			return true
+		})
+	})
+	if atTail == nil || !atTail["a"] || !atTail["b"] {
+		t.Fatalf("state before tail() = %v, want both a and b (may-join)", atTail)
+	}
+}

@@ -1,22 +1,26 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
 	"sort"
 )
 
-// result collects one package's surviving diagnostics for one analyzer.
+// result collects one package's diagnostics for one analyzer, including
+// suppressed ones (marked, so -json can surface them).
 type result struct {
 	analyzer string
 	diags    []Diagnostic
 }
 
 // runPackage executes every analyzer over one loaded package against the
-// shared fact store, applies the //vetsparse:ignore filter, and returns
-// the surviving diagnostics. The malformed-directive diagnostics from the
-// ignore scan itself are attributed to the pseudo-pass "directive".
+// shared fact store and applies the //vetsparse:ignore filter by MARKING
+// matched diagnostics suppressed rather than dropping them — plain output
+// and the exit status skip them, -json reports them. The malformed-
+// directive diagnostics from the ignore scan itself are attributed to the
+// pseudo-pass "directive".
 func runPackage(pkg *Package, analyzers []*Analyzer, fset *token.FileSet, facts *FactSet) ([]result, error) {
 	var results []result
 
@@ -45,22 +49,21 @@ func runPackage(pkg *Package, analyzers []*Analyzer, fset *token.FileSet, facts 
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.PkgPath, a.Name, err)
 		}
-		kept := diags[:0]
-		for _, d := range diags {
-			if !ignores.Match(a.Name, d.Pos) {
-				kept = append(kept, d)
-			}
+		for i := range diags {
+			diags[i].Suppressed = ignores.Match(a.Name, diags[i].Pos)
 		}
-		if len(kept) > 0 {
-			results = append(results, result{analyzer: a.Name, diags: kept})
+		if len(diags) > 0 {
+			results = append(results, result{analyzer: a.Name, diags: diags})
 		}
 	}
 	return results, nil
 }
 
 // RunPackage runs one analyzer over one loaded package against facts,
-// applying the //vetsparse:ignore filter; used by the analysistest fixture
-// runner, which checks one analyzer at a time.
+// applying the //vetsparse:ignore filter (suppressed diagnostics are
+// dropped here — fixture `want` comments describe surviving findings);
+// used by the analysistest fixture runner, which checks one analyzer at a
+// time.
 func RunPackage(pkg *Package, a *Analyzer, fset *token.FileSet, facts *FactSet) ([]Diagnostic, error) {
 	results, err := runPackage(pkg, []*Analyzer{a}, fset, facts)
 	if err != nil {
@@ -69,25 +72,30 @@ func RunPackage(pkg *Package, a *Analyzer, fset *token.FileSet, facts *FactSet) 
 	var diags []Diagnostic
 	for _, r := range results {
 		if r.analyzer == a.Name {
-			diags = append(diags, r.diags...)
+			for _, d := range r.diags {
+				if !d.Suppressed {
+					diags = append(diags, d)
+				}
+			}
 		}
 	}
 	return diags, nil
 }
 
-// printDiagnostics writes results in the plain `go vet` style
-// (file:line:col: message (pass)) sorted by position, returning how many
-// were printed.
-func printDiagnostics(w io.Writer, fset *token.FileSet, results []result) int {
-	type flat struct {
-		pos  token.Position
-		msg  string
-		pass string
-	}
+// flat is one position-sorted diagnostic ready for output.
+type flat struct {
+	pos        token.Position
+	msg        string
+	pass       string
+	suppressed bool
+}
+
+// flatten sorts every diagnostic in results by position.
+func flatten(fset *token.FileSet, results []result) []flat {
 	var all []flat
 	for _, r := range results {
 		for _, d := range r.diags {
-			all = append(all, flat{pos: fset.Position(d.Pos), msg: d.Message, pass: r.analyzer})
+			all = append(all, flat{pos: fset.Position(d.Pos), msg: d.Message, pass: r.analyzer, suppressed: d.Suppressed})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -99,16 +107,73 @@ func printDiagnostics(w io.Writer, fset *token.FileSet, results []result) int {
 		}
 		return all[i].pos.Column < all[j].pos.Column
 	})
-	for _, d := range all {
+	return all
+}
+
+// printDiagnostics writes unsuppressed results in the plain `go vet` style
+// (file:line:col: message (pass)) sorted by position, returning how many
+// were printed.
+func printDiagnostics(w io.Writer, fset *token.FileSet, results []result) int {
+	count := 0
+	for _, d := range flatten(fset, results) {
+		if d.suppressed {
+			continue
+		}
 		fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.pass)
+		count++
 	}
-	return len(all)
+	return count
+}
+
+// jsonDiagnostic is the -json wire format: one object per line.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Pass       string `json:"pass"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// printJSON writes every diagnostic — suppressed ones included, marked —
+// as one JSON object per line, sorted by position. The return value counts
+// only unsuppressed diagnostics: suppression keeps the exit status clean,
+// and -json exists so tooling can audit what the directives hide.
+func printJSON(w io.Writer, fset *token.FileSet, results []result) int {
+	enc := json.NewEncoder(w)
+	count := 0
+	for _, d := range flatten(fset, results) {
+		enc.Encode(jsonDiagnostic{
+			File:       d.pos.Filename,
+			Line:       d.pos.Line,
+			Col:        d.pos.Column,
+			Pass:       d.pass,
+			Message:    d.msg,
+			Suppressed: d.suppressed,
+		})
+		if !d.suppressed {
+			count++
+		}
+	}
+	return count
 }
 
 // Run loads the packages matched by patterns (plus module dependencies),
 // runs the analyzers over each in dependency order sharing one fact store,
-// and prints diagnostics to w. It returns the diagnostic count.
+// and prints unsuppressed diagnostics to w. It returns the unsuppressed
+// diagnostic count.
 func Run(w io.Writer, patterns []string, analyzers []*Analyzer) (int, error) {
+	return run(w, patterns, analyzers, printDiagnostics)
+}
+
+// RunJSON is Run with one JSON object per diagnostic line, suppressed
+// findings included (marked "suppressed": true). The count still excludes
+// suppressed findings so the exit status matches plain mode.
+func RunJSON(w io.Writer, patterns []string, analyzers []*Analyzer) (int, error) {
+	return run(w, patterns, analyzers, printJSON)
+}
+
+func run(w io.Writer, patterns []string, analyzers []*Analyzer, print func(io.Writer, *token.FileSet, []result) int) (int, error) {
 	if err := Validate(analyzers); err != nil {
 		return 0, err
 	}
@@ -124,7 +189,7 @@ func Run(w io.Writer, patterns []string, analyzers []*Analyzer) (int, error) {
 		if err != nil {
 			return count, err
 		}
-		count += printDiagnostics(w, fset, results)
+		count += print(w, fset, results)
 	}
 	return count, nil
 }

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkerSrc has two call sites; the directive suppresses only the alpha
+// pass at the first one. Both toy analyzers report at every call.
+const checkerSrc = `package p
+
+func target() {
+	//vetsparse:ignore alpha alpha misfires on this shape; see test
+	a()
+
+	b()
+}
+
+func a() {}
+func b() {}
+`
+
+// callReporter builds a toy analyzer reporting at every function call.
+func callReporter(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "report every call (test analyzer)",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						pass.Reportf(call.Pos(), "call reported by %s", name)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+func loadCheckerPkg(t *testing.T) (*Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", checkerSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Files: []*ast.File{f}, Types: tpkg, Info: info}, fset
+}
+
+// TestDirectiveInterplay: an ignore naming one pass suppresses exactly
+// that pass at that line — the co-located finding from the other pass
+// survives — and suppressed findings are retained (marked), not dropped.
+func TestDirectiveInterplay(t *testing.T) {
+	pkg, fset := loadCheckerPkg(t)
+	results, err := runPackage(pkg, []*Analyzer{callReporter("alpha"), callReporter("beta")}, fset, NewFactSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		pass string
+		line int
+	}
+	got := map[key]bool{} // -> suppressed
+	for _, r := range results {
+		for _, d := range r.diags {
+			got[key{r.analyzer, fset.Position(d.Pos).Line}] = d.Suppressed
+		}
+	}
+	want := map[key]bool{
+		{"alpha", 5}: true,  // the directive names alpha
+		{"beta", 5}:  false, // co-located beta finding must survive
+		{"alpha", 7}: false,
+		{"beta", 7}:  false,
+	}
+	for k, suppressed := range want {
+		gotSup, ok := got[k]
+		if !ok {
+			t.Errorf("missing diagnostic %v", k)
+			continue
+		}
+		if gotSup != suppressed {
+			t.Errorf("%v suppressed = %v, want %v", k, gotSup, suppressed)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("diagnostics = %d, want %d: %v", len(got), len(want), got)
+	}
+
+	// Plain output drops the suppressed finding and counts survivors only.
+	var buf bytes.Buffer
+	if n := printDiagnostics(&buf, fset, results); n != 3 {
+		t.Errorf("printDiagnostics count = %d, want 3", n)
+	}
+	if strings.Count(buf.String(), "\n") != 3 {
+		t.Errorf("plain output lines = %d, want 3:\n%s", strings.Count(buf.String(), "\n"), buf.String())
+	}
+}
+
+// TestJSONOutput: -json emits every diagnostic — the suppressed one
+// included, marked — while the returned count (the exit-status source)
+// still excludes suppressed findings.
+func TestJSONOutput(t *testing.T) {
+	pkg, fset := loadCheckerPkg(t)
+	results, err := runPackage(pkg, []*Analyzer{callReporter("alpha"), callReporter("beta")}, fset, NewFactSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if n := printJSON(&buf, fset, results); n != 3 {
+		t.Errorf("printJSON count = %d, want 3 (suppressed excluded from exit count)", n)
+	}
+
+	var objs []jsonDiagnostic
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var d jsonDiagnostic
+		if err := dec.Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, d)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("json objects = %d, want 4 (suppressed included)", len(objs))
+	}
+	suppressed := 0
+	for _, d := range objs {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Pass == "" || d.Message == "" {
+			t.Errorf("incomplete json diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			suppressed++
+			if d.Pass != "alpha" || d.Line != 5 {
+				t.Errorf("wrong suppressed diagnostic: %+v", d)
+			}
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed json diagnostics = %d, want 1", suppressed)
+	}
+}

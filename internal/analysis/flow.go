@@ -1,0 +1,104 @@
+package analysis
+
+import "go/ast"
+
+// This file is the forward may-analysis engine the flow-sensitive passes
+// share: a standard iterative worklist over a CFG. The client supplies the
+// lattice through three functions — Copy, Join, Transfer — and gets back
+// the fixed-point state at entry to every block. Diagnostics are then a
+// second, single pass per block: replay Transfer node by node from the
+// block's entry state and inspect the intermediate states (that replay is
+// Walk).
+//
+// Join semantics are the client's choice: a union join gives a may
+// analysis ("on some path"), an intersection join a must analysis ("on
+// every path"). The locks pass runs both at once by carrying a pair state.
+
+// FlowSpec defines one forward dataflow problem over a CFG.
+type FlowSpec[S any] struct {
+	// Init is the state at function entry.
+	Init S
+	// Copy returns an independent copy of a state (states are mutated by
+	// Transfer in place).
+	Copy func(S) S
+	// Join merges src into dst, reporting whether dst changed. The
+	// engine re-queues a block only when its entry state changed, so
+	// Join must be monotone for termination.
+	Join func(dst, src S) bool
+	// Transfer applies one node's effect to the state in place. During
+	// the fixed-point iteration report must not fire; Walk replays with
+	// reporting enabled.
+	Transfer func(n ast.Node, s S)
+}
+
+// Forward iterates spec over g to a fixed point and returns the entry
+// state of every reachable block, indexed by Block.Index. Unreachable
+// blocks have no entry (the zero S and false from the second map lookup).
+func Forward[S any](g *CFG, spec FlowSpec[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = spec.Copy(spec.Init)
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := spec.Copy(in[blk])
+		for _, n := range blk.Nodes {
+			spec.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			changed := false
+			if !ok {
+				in[succ] = spec.Copy(out)
+				changed = true
+			} else {
+				changed = spec.Join(cur, out)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Walk replays the transfer function over every reachable block from its
+// fixed-point entry state, calling visit before each node with the state
+// immediately before that node executes. This is where passes report:
+// the state is exact for the block-local path, and join-approximate
+// across blocks.
+func Walk[S any](g *CFG, in map[*Block]S, spec FlowSpec[S], visit func(n ast.Node, before S)) {
+	for _, blk := range g.Blocks {
+		entry, ok := in[blk]
+		if !ok {
+			continue
+		}
+		s := spec.Copy(entry)
+		for _, n := range blk.Nodes {
+			visit(n, s)
+			spec.Transfer(n, s)
+		}
+	}
+}
+
+// InspectShallow walks the AST under n in execution-relevant order but
+// does not descend into function literals: a FuncLit body runs at another
+// time on (possibly) another goroutine, so its effects never belong to the
+// enclosing function's flow state. Every flow-sensitive transfer function
+// uses this instead of ast.Inspect.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	if sd, ok := n.(*SelectDispatch); ok {
+		// Marker node: not part of the go/ast hierarchy, never descended.
+		f(sd)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,227 @@
+// Package deadlines implements the vetsparse pass that makes PR 7's
+// deadline-propagation guarantee compile-time-checked (DESIGN.md §9): on
+// a request path — a serve handler, the executor's runJob/solveBatched,
+// or the pool's Collect loop — every blocking protocol read must be a
+// deadline-carrying form (ReadUntil / ReadResultUntil / WaitWithin and
+// the relative *Within forms) with the request deadline threaded through.
+// A bare Read / MustRead / ReadResult / Wait / Terminated three packages
+// below the handler is an unbounded wait the per-request deadline cannot
+// reach, and only a test that happens to hang finds it.
+//
+// Reachability mirrors the determinism pass's clock analysis: each
+// function from whose dynamic extent a bare read is reachable (its own
+// body, function literals it creates, package-local callees to a
+// fixpoint, cross-package callees via object facts) exports a bareRead
+// fact carrying the call chain; the diagnostic fires at the roots. A
+// //vetsparse:ignore deadlines <reason> at any call edge on the chain —
+// the bare read itself, or a caller vouching for a subsystem boundary —
+// cuts the chain and keeps the cut call out of the facts, so a justified
+// bare read (a synchronous handshake, a worker unstuck by port close, a
+// run whose boundedness the pool's expiry logic owns) does not poison
+// every root above it.
+package deadlines
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/readforms"
+)
+
+// bareReadFact marks a function from whose dynamic extent a bare
+// (deadline-free) blocking protocol read is reachable.
+type bareReadFact struct {
+	// Via is the human-readable call chain to the bare read.
+	Via string
+}
+
+func (*bareReadFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "deadlines",
+	Doc:       "require deadline-carrying read forms (ReadUntil/ReadResultUntil/WaitWithin) on every blocking read reachable from a serve handler or the pool collect loop",
+	FactTypes: []analysis.Fact{(*bareReadFact)(nil)},
+	Run:       run,
+}
+
+// rootPkgs are the packages whose request-path roots the diagnostic fires
+// in (by package name, so fixtures can reproduce them).
+var rootPkgs = map[string]bool{"serve": true, "core": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	reach := computeReachability(pass)
+	if !rootPkgs[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isRoot(pass, fn) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if via, bad := reach[obj]; bad {
+				pass.Reportf(fn.Name.Pos(), "bare blocking read reachable from request path %s via %s; thread the request deadline through a deadline-carrying form", fn.Name.Name, via)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isRoot recognizes the request-path entry points: in serve, the HTTP
+// handlers (handle*-shaped, or any func taking *http.Request) plus the
+// executor chain runJob/solveBatched; in core, the pool's Collect loop.
+func isRoot(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	switch pass.Pkg.Name() {
+	case "serve":
+		if strings.HasPrefix(name, "handle") || name == "runJob" || name == "solveBatched" {
+			return true
+		}
+	case "core":
+		if name == "Collect" && fn.Recv != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// computeReachability finds the package's functions from which a bare
+// protocol read is reachable, imports equivalent facts for callees in
+// other packages, iterates the package-local call graph to a fixpoint,
+// and exports facts downstream. Function literals count toward their
+// enclosing declaration: a worker closure's bare read is reachable from
+// whoever spawned the worker.
+func computeReachability(pass *analysis.Pass) map[*types.Func]string {
+	type funcInfo struct {
+		via     string               // nonempty when a bare read is reachable
+		callees map[*types.Func]bool // package-local static callees
+	}
+	infos := make(map[*types.Func]*funcInfo)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &funcInfo{callees: make(map[*types.Func]bool)}
+			infos[obj] = info
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				// An ignore at any call edge cuts the chain there — at the
+				// bare read itself, or at a caller vouching for a whole
+				// subsystem boundary (e.g. the solver's RunPolicy calls,
+				// whose coordination joins are bounded by pool expiry and
+				// worker abandonment, not request deadlines). Either way
+				// the cut call stays out of the facts, the determinism
+				// precedent, so one justified site doesn't flag every
+				// root above it.
+				if pass.Ignores.Match(pass.Analyzer.Name, call.Pos()) {
+					return true
+				}
+				if src := bareRead(callee); src != "" {
+					if info.via == "" {
+						info.via = src
+					}
+					return true
+				}
+				if callee.Pkg() == pass.Pkg {
+					info.callees[callee] = true
+				} else {
+					var fact bareReadFact
+					if pass.ImportObjectFact(callee, &fact) && info.via == "" {
+						info.via = callee.FullName() + " -> " + fact.Via
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			if info.via != "" {
+				continue
+			}
+			for callee := range info.callees {
+				if ci := infos[callee]; ci != nil && ci.via != "" {
+					info.via = callee.FullName() + " -> " + ci.via
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	out := make(map[*types.Func]string)
+	for obj, info := range infos {
+		if info.via != "" {
+			out[obj] = info.via
+			pass.ExportObjectFact(obj, &bareReadFact{Via: info.via})
+		}
+	}
+	return out
+}
+
+// bareRead classifies a callee as a bare blocking protocol read,
+// returning a description ("core.Port.MustRead (use ReadUntil)") or "".
+func bareRead(fn *types.Func) string {
+	if readforms.Bare[fn.Name()] == "" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || !readforms.BarePackages[pkg.Name()] {
+		return ""
+	}
+	return pkg.Name() + ".(" + recvTypeName(sig.Recv().Type()) + ")." + fn.Name() + " (use " + readforms.Bare[fn.Name()] + ")"
+}
+
+func recvTypeName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

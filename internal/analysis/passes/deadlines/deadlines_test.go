@@ -1,0 +1,16 @@
+package deadlines_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/deadlines"
+)
+
+func TestDeadlines(t *testing.T) {
+	// "serve" imports the fixture packages "core" and "manifold"; the
+	// dependencies are analyzed first so the bare-read facts reach the
+	// handler roots across package boundaries. "core" is also checked
+	// directly for its own Collect roots.
+	analysistest.Run(t, "testdata", deadlines.Analyzer, "core", "serve")
+}

@@ -1,0 +1,48 @@
+// Package core fixtures give the deadlines pass its two pool shapes: a
+// collect loop stuck on a bare read (flagged at the Collect root), one
+// threading an absolute deadline (clean), and one whose bare read carries
+// a justified //vetsparse:ignore — which must also keep the read out of
+// the exported facts, so serve-side callers of QuietPool stay clean.
+package core
+
+import (
+	"time"
+
+	"manifold"
+)
+
+type Master struct{ p *manifold.Port }
+
+// ReadResult is itself a bare read by name; its body is another (the
+// port-level MustRead), so it both matches at call sites and exports a
+// reachability fact.
+func (m *Master) ReadResult() manifold.Unit { return m.p.MustRead() }
+
+// ReadResultUntil is the deadline-carrying form.
+func (m *Master) ReadResultUntil(t time.Time) (manifold.Unit, error) {
+	return m.p.ReadUntil(t)
+}
+
+type BadPool struct{ m *Master }
+
+// Collect is a request-path root: its bare read is flagged here, with the
+// chain in the message.
+func (p *BadPool) Collect() manifold.Unit { // want `bare blocking read reachable from request path Collect via core\.\(Master\)\.ReadResult \(use ReadResultUntil\)`
+	return p.m.ReadResult()
+}
+
+type GoodPool struct{ m *Master }
+
+// Collect threads the propagated absolute deadline: clean.
+func (p *GoodPool) Collect(deadline time.Time) (manifold.Unit, error) {
+	return p.m.ReadResultUntil(deadline)
+}
+
+type QuietPool struct{ m *Master }
+
+// Collect waits unbounded by explicit design; the directive suppresses
+// the finding and keeps the read out of this function's fact.
+func (p *QuietPool) Collect() manifold.Unit {
+	//vetsparse:ignore deadlines deadline-free pool waits unbounded by design; there is no deadline to thread
+	return p.m.ReadResult()
+}

@@ -1,0 +1,26 @@
+// Package manifold fixtures stub the protocol port surface by name: the
+// deadlines pass classifies bare reads by method name on packages named
+// manifold/core (the readforms tables), so these shapes are all it needs.
+package manifold
+
+import "time"
+
+type Unit struct{ ID int }
+
+type Port struct{}
+
+// Read and MustRead are the bare (deadline-free) blocking reads.
+func (p *Port) Read() Unit     { return Unit{} }
+func (p *Port) MustRead() Unit { return Unit{} }
+
+// ReadUntil is the absolute-deadline form a propagated request deadline
+// arrives in.
+func (p *Port) ReadUntil(t time.Time) (Unit, error) { return Unit{}, nil }
+
+type Process struct{}
+
+// Wait is the bare event wait; WaitWithin its deadline-carrying form.
+func (p *Process) Wait(names ...string) string { return "" }
+func (p *Process) WaitWithin(d time.Duration, names ...string) (string, bool) {
+	return "", false
+}

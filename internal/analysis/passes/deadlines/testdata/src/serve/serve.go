@@ -1,0 +1,44 @@
+// Package serve fixtures are the handler-shaped roots: the bare read
+// lives two packages down (core → manifold) and reaches the handlers only
+// through object facts, never syntactically.
+package serve
+
+import (
+	"time"
+
+	"core"
+	"manifold"
+)
+
+// handleSolve reaches the bare read through runJob and core's facts.
+func handleSolve(p *core.BadPool) manifold.Unit { // want `bare blocking read reachable from request path handleSolve`
+	return runJob(p)
+}
+
+// runJob is itself a root (the executor chain), flagged independently.
+func runJob(p *core.BadPool) manifold.Unit { // want `bare blocking read reachable from request path runJob`
+	return p.Collect()
+}
+
+// solveBatched threads the deadline end to end: clean.
+func solveBatched(p *core.GoodPool, deadline time.Time) (manifold.Unit, error) {
+	return p.Collect(deadline)
+}
+
+// handleQuiet calls the pool whose bare read carries a justified ignore;
+// the cut fact keeps this root clean too.
+func handleQuiet(p *core.QuietPool) manifold.Unit {
+	return p.Collect()
+}
+
+// handleStream's bare read hides in a goroutine literal; reachability
+// descends into function literals, attributing them to the enclosing
+// declaration.
+func handleStream(port *manifold.Port) { // want `bare blocking read reachable from request path handleStream`
+	go func() {
+		_ = port.MustRead()
+	}()
+}
+
+// handleHealth does no protocol reads: clean.
+func handleHealth() string { return "ok" }

@@ -1,0 +1,12 @@
+package leaks_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/leaks"
+)
+
+func TestLeaks(t *testing.T) {
+	analysistest.Run(t, "testdata", leaks.Analyzer, "leaksfix")
+}

@@ -1,0 +1,156 @@
+// Package leaksfix exercises the leaks-pass rule: every goroutine needs a
+// provable termination signal. The break-binding cases matter most — a
+// break inside a select binds to the select, not the loop, which is
+// exactly the bug shape that leaks a worker forever.
+package leaksfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func work()     {}
+func use(v int) {}
+
+// --- flagged: no way out ---
+
+func spinForever() {
+	go func() { // want `goroutine has no termination signal: infinite for loop`
+		for {
+			work()
+		}
+	}()
+}
+
+func blockForever() {
+	go func() { // want `goroutine has no termination signal: select\{\} blocks forever`
+		select {}
+	}()
+}
+
+// breakBindsToSelect is the classic leak: the break on the quit signal
+// binds to the select, so the loop never exits.
+func breakBindsToSelect(quit chan struct{}, ch chan int) {
+	go func() { // want `goroutine has no termination signal: infinite for loop`
+		for {
+			select {
+			case <-quit:
+				break
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+type server struct{}
+
+// pump is leaky; the diagnostic lands on each launch site below.
+func (s *server) pump() {
+	for {
+		work()
+	}
+}
+
+func launchNamed(s *server) {
+	go s.pump() // want `goroutine pump has no termination signal: infinite for loop`
+}
+
+// --- clean: provable termination ---
+
+func quitReturnOK(quit chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+func labeledBreakOK(quit chan struct{}, ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-quit:
+				break loop
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+func rangeCloseOK(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+func boundedLoopOK(n int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+func straightLineOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func atomicStopOK(stop *atomic.Int32) {
+	go func() {
+		for {
+			if stop.Load() != 0 {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// nestedLitNotOurs: the inner literal is only defined, never launched —
+// its infinite loop is not this goroutine's loop.
+func nestedLitNotOurs(quit chan struct{}) {
+	go func() {
+		_ = func() {
+			for {
+				work()
+			}
+		}
+		<-quit
+	}()
+}
+
+type worker struct{ quit chan struct{} }
+
+// run terminates on quit; launching it by name is clean.
+func (w *worker) run(ch chan int) {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case v := <-ch:
+			use(v)
+		}
+	}
+}
+
+func launchNamedOK(w *worker, ch chan int) {
+	go w.run(ch)
+}

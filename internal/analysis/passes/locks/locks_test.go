@@ -1,0 +1,15 @@
+package locks_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/locks"
+)
+
+func TestLocks(t *testing.T) {
+	// "locksfix" imports the fixture package "lockdep", analyzed first so
+	// its acquisition-order facts cross the package boundary and close
+	// the cycle locksfix only half-creates.
+	analysistest.Run(t, "testdata", locks.Analyzer, "locksfix")
+}

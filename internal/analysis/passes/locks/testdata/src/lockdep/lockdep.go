@@ -1,0 +1,37 @@
+// Package lockdep is the dependency fixture for cross-package lock-order
+// facts: it owns the lock classes Store.Mu and Cache.Mu and establishes
+// the Store→Cache acquisition order locally. The order edge rides this
+// package's object facts, so a downstream package taking the two locks in
+// the opposite order closes a cycle it could never see syntactically.
+package lockdep
+
+import "sync"
+
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+type Cache struct {
+	Mu sync.Mutex
+	m  map[string]int
+}
+
+// StoreThenCache acquires Store.Mu before Cache.Mu — the package's
+// documented order. The exported fact carries both the acquire set and
+// the Store.Mu→Cache.Mu edge.
+func StoreThenCache(s *Store, c *Cache, key string) {
+	s.Mu.Lock()
+	c.Mu.Lock()
+	c.m[key] = s.n
+	c.Mu.Unlock()
+	s.Mu.Unlock()
+}
+
+// Bump acquires only Store.Mu; callers holding their own lock create an
+// order edge toward it through this function's fact.
+func Bump(s *Store) {
+	s.Mu.Lock()
+	s.n++
+	s.Mu.Unlock()
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/readforms"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -35,14 +36,10 @@ var Analyzer = &analysis.Analyzer{
 // so fixtures can reproduce them.
 var scopedPkgs = map[string]bool{"core": true, "manifold": true}
 
-// deadlineMethods are the two-result deadline reads whose final result
-// (error or ok) must be consumed. The *Until variants are the
-// absolute-deadline forms used when a request deadline propagates through
-// layers (serve → pool → port).
-var deadlineMethods = map[string]bool{
-	"ReadWithin": true, "ReadResultWithin": true, "WaitWithin": true,
-	"ReadUntil": true, "ReadResultUntil": true,
-}
+// The deadline-read method table lives in readforms.Deadline, shared with
+// the deadlines and locks passes: this pass grew its own copy by hand
+// once and missed the PR 7 *Until forms, the blind spot that motivated
+// unifying the table (ISSUE 10 satellite).
 
 // eventCalls are the method names accepted as handling an envelope that a
 // select branch would otherwise drop: observability emission or the
@@ -94,10 +91,11 @@ func checkDeadlineReads(pass *analysis.Pass, f *ast.File) {
 }
 
 // deadlineMethod returns the method name when call is a deadline read —
-// a method in deadlineMethods returning (T, error) or (T, bool) — else "".
+// a method in readforms.Deadline returning (T, error) or (T, bool) —
+// else "".
 func deadlineMethod(info *types.Info, call *ast.CallExpr) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || !deadlineMethods[sel.Sel.Name] {
+	if !ok || !readforms.Deadline[sel.Sel.Name] {
 		return ""
 	}
 	fn, ok := info.Uses[sel.Sel].(*types.Func)

@@ -15,6 +15,17 @@ func (p *Port) ReadWithin(d time.Duration) (Unit, error) { return Unit{}, nil }
 // ReadUntil mimics the absolute-deadline read: (value, error).
 func (p *Port) ReadUntil(t time.Time) (Unit, error) { return Unit{}, nil }
 
+type Master struct{}
+
+// ReadResultWithin mimics the master's relative-deadline result read.
+func (m *Master) ReadResultWithin(d time.Duration) (Unit, error) { return Unit{}, nil }
+
+// ReadResultUntil mimics the master's absolute-deadline result read — the
+// form a propagated request deadline arrives in (PR 7). The pass once
+// tracked these tables by hand and missed the *Until forms; this fixture
+// is the regression for the shared readforms table.
+func (m *Master) ReadResultUntil(t time.Time) (Unit, error) { return Unit{}, nil }
+
 type Occurrence struct{ Name string }
 
 type Process struct{}
@@ -50,6 +61,18 @@ func deadlineReads(port *Port, proc *Process) {
 	x, uerr := port.ReadUntil(time.Now())
 	if uerr == nil {
 		sinkUnit(x)
+	}
+
+	m := &Master{}
+	m.ReadResultWithin(time.Second) // want `result of ReadResultWithin dropped`
+	m.ReadResultUntil(time.Now())   // want `result of ReadResultUntil dropped`
+
+	r, _ := m.ReadResultUntil(time.Now()) // want `error of ReadResultUntil assigned to _`
+	sinkUnit(r)
+
+	rr, rerr := m.ReadResultWithin(time.Second)
+	if rerr == nil {
+		sinkUnit(rr)
 	}
 
 	occ, _ := proc.WaitWithin(time.Second, "finished") // want `ok of WaitWithin assigned to _`

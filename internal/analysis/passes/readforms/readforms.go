@@ -1,0 +1,39 @@
+// Package readforms is the single source of truth for the repo's blocking
+// read vocabulary, shared by the protocol, deadlines, and locks passes.
+// PR 7 added the absolute-deadline forms (ReadUntil/ReadResultUntil) next
+// to the PR 2 relative forms (ReadWithin/ReadResultWithin/WaitWithin), and
+// the protocol pass grew its table by hand — the kind of drift this
+// package ends: one table, three passes, one regression fixture suite.
+package readforms
+
+// Deadline maps the deadline-carrying read/wait method names — the forms
+// whose final result (error or ok) must be consumed, because a dropped
+// timeout silently loses a protocol message. The *Within forms take a
+// relative time.Duration; the *Until forms take the absolute time.Time a
+// propagated request deadline arrives as.
+var Deadline = map[string]bool{
+	"ReadWithin":       true,
+	"ReadUntil":        true,
+	"ReadResultWithin": true,
+	"ReadResultUntil":  true,
+	"WaitWithin":       true,
+}
+
+// Bare maps each bare (deadline-free) blocking read on the manifold/core
+// protocol surface to its deadline-carrying replacement. The deadlines
+// pass reports these when they are reachable from a serve handler or the
+// pool's collect loop, where a request deadline exists and must be
+// threaded through.
+var Bare = map[string]string{
+	"Read":       "ReadUntil",
+	"MustRead":   "ReadUntil",
+	"ReadResult": "ReadResultUntil",
+	"Wait":       "WaitWithin",
+	"Terminated": "WaitWithin",
+}
+
+// BarePackages are the package names whose methods the Bare table applies
+// to — the protocol layers (by name, so fixtures can reproduce them).
+// sync.WaitGroup.Wait and friends are deliberately outside: they are
+// completion joins, not protocol reads.
+var BarePackages = map[string]bool{"manifold": true, "core": true}

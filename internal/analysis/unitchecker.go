@@ -178,6 +178,7 @@ func Main(progname string, analyzers ...*Analyzer) {
 
 	args := os.Args[1:]
 	enabled := analyzers
+	jsonOut := false
 	var rest []string
 	for _, arg := range args {
 		switch {
@@ -188,6 +189,10 @@ func Main(progname string, analyzers ...*Analyzer) {
 		case arg == "-h" || arg == "-help" || arg == "--help":
 			usage(progname, analyzers)
 			os.Exit(0)
+		case arg == "-json" || arg == "--json":
+			// Standalone-driver only: in vettool mode `go vet` owns the
+			// flag namespace and the diagnostic presentation.
+			jsonOut = true
 		case strings.HasPrefix(arg, "-"):
 			name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
 			var found *Analyzer
@@ -230,7 +235,11 @@ func Main(progname string, analyzers ...*Analyzer) {
 		usage(progname, analyzers)
 		os.Exit(2)
 	}
-	n, err := Run(os.Stdout, rest, enabled)
+	runner := Run
+	if jsonOut {
+		runner = RunJSON
+	}
+	n, err := runner(os.Stdout, rest, enabled)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
@@ -242,7 +251,7 @@ func Main(progname string, analyzers ...*Analyzer) {
 
 func usage(progname string, analyzers []*Analyzer) {
 	fmt.Fprintf(os.Stderr, "%s checks the repo's coordination invariants statically.\n\n", progname)
-	fmt.Fprintf(os.Stderr, "Usage:\n  %s [-pass ...] package...     # standalone\n  go vet -vettool=$(which %s) ./...  # as a vet tool\n\nRegistered analyzers:\n", progname, progname)
+	fmt.Fprintf(os.Stderr, "Usage:\n  %s [-json] [-pass ...] package...     # standalone (-json: one diagnostic object per line, suppressed included)\n  go vet -vettool=$(which %s) ./...  # as a vet tool\n\nRegistered analyzers:\n", progname, progname)
 	for _, a := range analyzers {
 		doc := a.Doc
 		if i := strings.IndexByte(doc, '\n'); i >= 0 {

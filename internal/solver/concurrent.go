@@ -128,6 +128,7 @@ func Concurrent(p Params) (*Output, error) {
 		results[i] = r.res
 	}
 
+	//vetsparse:ignore deadlines RunPolicy's coordination joins (Terminated/Wait) are bounded by pool deadline expiry and worker abandonment, not the request deadline
 	stats := core.RunPolicy(func(m *core.Master) {
 		// Step 2: initialization work happened in the caller (parameter
 		// validation, family layout). Step 3: one pool for all grids of
@@ -173,6 +174,7 @@ func Concurrent(p Params) (*Output, error) {
 		// buffers are never shared across goroutines. The deferred Close
 		// also runs when a fault injector panics the body mid-job.
 		ws := rosenbrock.NewWorkspace()
+		//vetsparse:ignore deadlines worker-side read: the master's deadline expiry abandons the worker and closes its port, which unsticks this read
 		job := w.Read().(Job)
 		team := p.newTeam(job.Cores)
 		defer team.Close()
